@@ -1,0 +1,156 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out:
+//! slot-duration sweep, TDD-pattern sweep, access-mode contrast, radio
+//! interface sweep (the §4 "any source can bottleneck" claim), and the
+//! §6 margin-vs-reliability trade. Each asserts the qualitative claim
+//! before timing the computation that produces it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phy::tdd::{TddConfig, TddPattern};
+use phy::Numerology;
+use radio::{InterfaceKind, RadioHeadConfig};
+use sim::Duration;
+use std::hint::black_box;
+use urllc_core::model::{ConfigUnderTest, ProcessingBudget};
+use urllc_core::reliability::{margin_sweep, min_margin_for};
+use urllc_core::worst_case::{worst_case, Direction};
+use urllc_core::DesignSearch;
+
+/// A DL+mixed-slot minimal pattern at the given numerology (DM analogue).
+fn dm_at(nu: Numerology) -> ConfigUnderTest {
+    // One DL slot + one mixed slot; period = 2 slots.
+    let period = nu.slot_duration() * 2;
+    let p = TddPattern::new(nu, period, 1, Some((6, 6)), 0).expect("valid DM analogue");
+    ConfigUnderTest::TddCommon(TddConfig::single(nu, p))
+}
+
+fn ablation_slot_duration(c: &mut Criterion) {
+    // §5 PHY configuration: only the 0.25 ms slot (µ2) can meet 0.5 ms;
+    // µ1's 0.5 ms slots and µ0's 1 ms slots cannot.
+    let deadline = Duration::from_micros(500);
+    let zero = ProcessingBudget::zero();
+    for (nu, feasible) in [(Numerology::Mu0, false), (Numerology::Mu1, false), (Numerology::Mu2, true)]
+    {
+        let cfg = dm_at(nu);
+        let wc = worst_case(&cfg, Direction::Downlink, &zero);
+        assert_eq!(wc.latency <= deadline, feasible, "{nu}: {}", wc.latency);
+    }
+
+    let mut g = c.benchmark_group("ablation_slot_duration");
+    for nu in [Numerology::Mu0, Numerology::Mu1, Numerology::Mu2] {
+        let cfg = dm_at(nu);
+        g.bench_function(format!("dm_worst_case_mu{}", nu.mu()), |b| {
+            b.iter(|| worst_case(black_box(&cfg), Direction::Downlink, black_box(&zero)))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_radio_interface(c: &mut Criterion) {
+    // §4: "if the radio latency is 0.3 ms, halving the slot duration from
+    // 0.25 ms might not reduce latency" — with a USB-class radio, shrinking
+    // slots below the radio latency cannot help because the §5 criterion
+    // (radio+processing < one slot) already fails.
+    let usb = radio::RadioHead::new(RadioHeadConfig::usrp_b210(false));
+    assert!(
+        usb.mean_tx_radio_latency(5_760) > Numerology::Mu2.slot_duration(),
+        "the USB radio exceeds a µ2 slot"
+    );
+    let pcie = radio::RadioHead::new(RadioHeadConfig::pcie_low_latency());
+    assert!(
+        pcie.mean_tx_radio_latency(5_760) < Numerology::Mu2.slot_duration() / 2,
+        "the PCIe radio fits comfortably"
+    );
+    let _ = InterfaceKind::Pcie; // sweep axis documented by DesignSearch below
+
+    let mut g = c.benchmark_group("ablation_radio_interface");
+    g.bench_function("design_space_search", |b| b.iter(|| black_box(DesignSearch::run())));
+    g.finish();
+}
+
+fn ablation_margin_reliability(c: &mut Criterion) {
+    // §6: an RT kernel needs a much smaller five-nines margin than a GP
+    // kernel on the same bus.
+    let margins: Vec<Duration> = (1..=30).map(|i| Duration::from_micros(i * 50)).collect();
+    let gp = margin_sweep(
+        &RadioHeadConfig::usrp_b210(true),
+        Duration::from_micros(100),
+        11_520,
+        &margins,
+        10_000,
+        5,
+    );
+    let mut rt_cfg = RadioHeadConfig::usrp_b210(true);
+    rt_cfg.jitter = radio::OsJitterConfig::real_time_os();
+    let rt = margin_sweep(&rt_cfg, Duration::from_micros(100), 11_520, &margins, 10_000, 5);
+    let gp_need = min_margin_for(&gp, 0.9999).expect("gp margin");
+    let rt_need = min_margin_for(&rt, 0.9999).expect("rt margin");
+    assert!(rt_need <= gp_need, "RT {rt_need} vs GP {gp_need}");
+
+    let mut g = c.benchmark_group("ablation_margin_reliability");
+    g.sample_size(10);
+    g.bench_function("margin_sweep_30_points_10k_trials", |b| {
+        b.iter(|| {
+            black_box(margin_sweep(
+                &RadioHeadConfig::usrp_b210(true),
+                Duration::from_micros(100),
+                11_520,
+                &margins,
+                10_000,
+                5,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn ablation_access_mode(c: &mut Criterion) {
+    // §5: grant-free vs grant-based — the handshake costs roughly one
+    // pattern period on every minimal TDD pattern, and §9: grant-free
+    // stops scaling once the pre-allocation exceeds the slot.
+    let zero = ProcessingBudget::zero();
+    for (_, cfg) in ConfigUnderTest::table1_columns() {
+        if matches!(cfg, ConfigUnderTest::Fdd { .. } | ConfigUnderTest::MiniSlot(_)) {
+            continue;
+        }
+        let gf = worst_case(&cfg, Direction::UplinkGrantFree, &zero).latency;
+        let gb = worst_case(&cfg, Direction::UplinkGrantBased, &zero).latency;
+        assert!(gb > gf, "handshake must cost something");
+        assert!(gb - gf >= Duration::from_micros(250), "at least a slot");
+    }
+
+    let mut g = c.benchmark_group("ablation_access_mode");
+    g.sample_size(10);
+    use ran::sched::AccessMode;
+    for (name, access) in
+        [("grant_free", AccessMode::GrantFree), ("grant_based", AccessMode::GrantBased)]
+    {
+        g.bench_function(format!("scalability_sweep_{name}"), |b| {
+            b.iter(|| black_box(stack::scalability_sweep(access, &[1, 16, 64], 5)))
+        });
+    }
+    g.finish();
+}
+
+fn ablation_tdd_pattern(c: &mut Criterion) {
+    // §5's pattern choice: among minimal Common Configurations only DM is
+    // feasible on both directions; the slot-format survey generalises the
+    // search to the standard's predefined formats.
+    let survey = urllc_core::format_survey(&ProcessingBudget::zero());
+    assert!(survey.iter().filter(|v| v.all_feasible).count() > 0);
+
+    let mut g = c.benchmark_group("ablation_tdd_pattern");
+    g.bench_function("format_survey_all_46", |b| {
+        b.iter(|| black_box(urllc_core::format_survey(black_box(&ProcessingBudget::zero()))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_slot_duration,
+    ablation_radio_interface,
+    ablation_margin_reliability,
+    ablation_access_mode,
+    ablation_tdd_pattern
+);
+criterion_main!(benches);

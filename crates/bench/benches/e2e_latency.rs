@@ -1,0 +1,56 @@
+//! Bench F6: the end-to-end ping experiment (Fig 6) plus Figs 2/3's
+//! journey machinery.
+//!
+//! Checks the figure's shape first — grant-based UL exceeds grant-free UL
+//! by roughly one TDD period; UL exceeds DL — then times whole experiment
+//! batches.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ran::sched::AccessMode;
+use stack::{PingExperiment, StackConfig};
+use std::hint::black_box;
+
+fn shape_gate() {
+    let mean_ul = |access| {
+        let cfg = StackConfig::testbed_dddu(access, true).with_seed(11);
+        let mut exp = PingExperiment::new(cfg);
+        let mut res = exp.run(300);
+        (res.ul_summary().mean_us, res.dl_summary().mean_us)
+    };
+    let (gb_ul, gb_dl) = mean_ul(AccessMode::GrantBased);
+    let (gf_ul, _) = mean_ul(AccessMode::GrantFree);
+    assert!(gb_ul > gb_dl, "UL should exceed DL (gb_ul {gb_ul}, dl {gb_dl})");
+    let saving = gb_ul - gf_ul;
+    assert!(
+        (1_000.0..3_000.0).contains(&saving),
+        "grant-free saving should be ~one 2 ms TDD period, got {saving} µs"
+    );
+}
+
+fn bench_e2e(c: &mut Criterion) {
+    shape_gate();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    for (name, access) in
+        [("grant_based", AccessMode::GrantBased), ("grant_free", AccessMode::GrantFree)]
+    {
+        g.bench_function(format!("testbed_dddu_{name}_100_pings"), |b| {
+            b.iter_batched(
+                || PingExperiment::new(StackConfig::testbed_dddu(access, true).with_seed(3)),
+                |mut exp| black_box(exp.run(100)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.bench_function("ideal_urllc_dm_100_pings", |b| {
+        b.iter_batched(
+            || PingExperiment::new(StackConfig::ideal_urllc_dm().with_seed(3)),
+            |mut exp| black_box(exp.run(100)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

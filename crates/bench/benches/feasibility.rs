@@ -1,0 +1,28 @@
+//! Bench T1: the Table 1 feasibility analysis.
+//!
+//! Measures the analytical engine itself (the whole table is recomputed per
+//! iteration) and verifies on every run that the derived verdicts match the
+//! published Table 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use urllc_core::feasibility::{feasibility_table, paper_table1};
+use urllc_core::model::ProcessingBudget;
+
+fn bench_feasibility(c: &mut Criterion) {
+    // Correctness gate before timing.
+    let table = feasibility_table(&ProcessingBudget::zero());
+    assert_eq!(table.verdicts(), paper_table1(), "Table 1 mismatch");
+
+    let mut g = c.benchmark_group("table1");
+    g.bench_function("feasibility_table_zero_budget", |b| {
+        b.iter(|| feasibility_table(black_box(&ProcessingBudget::zero())))
+    });
+    g.bench_function("feasibility_table_testbed_budget", |b| {
+        b.iter(|| feasibility_table(black_box(&ProcessingBudget::testbed_means())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_feasibility);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Bench T2: gNB layer processing (Table 2).
+//!
+//! Times one full gNB layer walk per iteration (the sampled SDAP + PDCP +
+//! RLC + MAC + PHY service times of the calibrated Table 2 models) and one
+//! real PDU encode/decode walk through the composed stack, tying the
+//! model's numbers to actual work.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use ran::timing::LayerTimings;
+use sim::SimRng;
+use stack::{GnbStack, UeStack};
+use std::hint::black_box;
+
+fn bench_layer_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    let timings = LayerTimings::gnb_table2();
+    let mut rng = SimRng::from_seed(0);
+    g.bench_function("sample_full_stack_service_times", |b| {
+        b.iter(|| {
+            let t = timings.sdap.sample(&mut rng)
+                + timings.pdcp.sample(&mut rng)
+                + timings.rlc.sample(&mut rng)
+                + timings.mac.sample(&mut rng)
+                + timings.phy.sample(&mut rng);
+            black_box(t)
+        })
+    });
+
+    // The real data path the times stand for.
+    let mut ue = UeStack::new(17, 0xABCD);
+    let mut gnb = GnbStack::new();
+    gnb.attach_ue(17, 0xABCD, 0x0A00_0001);
+    let payload = Bytes::from(vec![0x42u8; 64]);
+    g.bench_function("uplink_pdu_walk_64B", |b| {
+        b.iter(|| {
+            let pdus = ue.encode_uplink(black_box(&payload), 256).expect("encode");
+            for p in &pdus {
+                black_box(gnb.decode_uplink(17, p).expect("decode"));
+            }
+        })
+    });
+    g.bench_function("downlink_pdu_walk_64B", |b| {
+        b.iter(|| {
+            let (_, pdus) =
+                gnb.encode_downlink(0x0A00_0001, black_box(&payload), 4096).expect("encode");
+            for p in &pdus {
+                black_box(ue.decode_downlink(p).expect("decode"));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_layer_models);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench F5: radio sample-submission latency (Fig 5).
+//!
+//! Sweeps the sample count over Fig 5's 2 000–20 000 range for USB 2.0 and
+//! USB 3.0, checking the figure's shape (affine growth, USB2 above USB3)
+//! before timing the models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use radio::{FronthaulInterface, InterfaceKind, RadioHead, RadioHeadConfig};
+use sim::SimRng;
+use std::hint::black_box;
+
+fn bench_radio_submit(c: &mut Criterion) {
+    // Shape gate: USB2 strictly above USB3 over the Fig 5 domain.
+    let usb2 = FronthaulInterface::of_kind(InterfaceKind::Usb2);
+    let usb3 = FronthaulInterface::of_kind(InterfaceKind::Usb3);
+    for n in (2_000..=20_000u64).step_by(2_000) {
+        assert!(usb2.mean_transfer_latency(n) > usb3.mean_transfer_latency(n));
+    }
+
+    let mut g = c.benchmark_group("fig5");
+    for kind in [InterfaceKind::Usb2, InterfaceKind::Usb3, InterfaceKind::Pcie] {
+        for samples in [2_000u64, 11_000, 20_000] {
+            let mut head = RadioHead::new(RadioHeadConfig {
+                interface: FronthaulInterface::of_kind(kind),
+                ..RadioHeadConfig::usrp_b210(true)
+            });
+            let mut rng = SimRng::from_seed(1);
+            g.bench_with_input(
+                BenchmarkId::new(kind.name().replace(' ', "_"), samples),
+                &samples,
+                |b, &n| b.iter(|| black_box(head.submit_latency(n, &mut rng))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_radio_submit);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Bench F4: the worst-case engine across the Fig 4 scenarios.
+//!
+//! Verifies the Fig 4 headline numbers (DM: 0.5 ms grant-free UL and DL,
+//! grant-based violating) before timing the engine on each direction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phy::TddConfig;
+use sim::Duration;
+use std::hint::black_box;
+use urllc_core::model::{ConfigUnderTest, ProcessingBudget};
+use urllc_core::worst_case::{worst_case, Direction};
+
+fn bench_worst_case(c: &mut Criterion) {
+    let dm = ConfigUnderTest::TddCommon(TddConfig::dm_minimal());
+    let zero = ProcessingBudget::zero();
+
+    // Fig 4 correctness gate.
+    assert_eq!(worst_case(&dm, Direction::Downlink, &zero).latency, Duration::from_micros(500));
+    assert_eq!(
+        worst_case(&dm, Direction::UplinkGrantFree, &zero).latency,
+        Duration::from_micros(500)
+    );
+    assert!(worst_case(&dm, Direction::UplinkGrantBased, &zero).latency > Duration::from_micros(500));
+
+    let mut g = c.benchmark_group("fig4");
+    for dir in Direction::TABLE1_ROWS {
+        g.bench_function(format!("dm_{}", dir.label().replace(' ', "_")), |b| {
+            b.iter(|| worst_case(black_box(&dm), dir, black_box(&zero)))
+        });
+    }
+    let dddu = ConfigUnderTest::TddCommon(TddConfig::dddu_testbed());
+    g.bench_function("dddu_grant_based", |b| {
+        b.iter(|| worst_case(black_box(&dddu), Direction::UplinkGrantBased, black_box(&zero)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_worst_case);
+criterion_main!(benches);

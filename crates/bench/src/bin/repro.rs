@@ -1,0 +1,518 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fr2|reliability|design|all [--pings N]
+//! ```
+//!
+//! Each subcommand prints the regenerated artifact (ASCII) and writes a
+//! CSV/JSON copy under `results/`. Experiment↔module mapping is in
+//! DESIGN.md §5; paper-vs-measured numbers are recorded in EXPERIMENTS.md.
+
+use std::env;
+
+use radio::{InterfaceKind, RadioHead, RadioHeadConfig};
+use ran::sched::AccessMode;
+use sim::{Duration, SimRng};
+use stack::{PingExperiment, StackConfig};
+use urllc_bench::report::{ascii_histogram, ascii_series, to_csv, write_artifact};
+use urllc_core::feasibility::{feasibility_table, paper_table1};
+use urllc_core::model::{ConfigUnderTest, ProcessingBudget};
+use urllc_core::reliability::{margin_sweep, min_margin_for};
+use urllc_core::worst_case::{worst_case, Direction};
+use urllc_core::DesignSearch;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let pings: u64 = args
+        .iter()
+        .position(|a| a == "--pings")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000);
+
+    match cmd {
+        "table1" => table1(),
+        "table2" => table2(pings),
+        "fig1" => fig1(),
+        "fig2" => fig2(),
+        "fig3" => fig3(),
+        "fig4" => fig4(),
+        "fig5" => fig5(),
+        "fig6" => fig6(pings),
+        "fr2" => fr2(),
+        "reliability" => reliability(),
+        "design" => design(),
+        "formats" => formats(),
+        "scale" => scale(),
+        "harq" => harq(pings),
+        "rach" => rach(),
+        "sixg" => sixg(),
+        "coexist" => coexist(),
+        "all" => {
+            table1();
+            table2(pings);
+            fig1();
+            fig2();
+            fig3();
+            fig4();
+            fig5();
+            fig6(pings);
+            fr2();
+            reliability();
+            design();
+            formats();
+            scale();
+            harq(pings);
+            rach();
+            sixg();
+            coexist();
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`");
+            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|harq|rach|sixg|coexist|all [--pings N]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn banner(s: &str) {
+    println!("\n==================== {s} ====================");
+}
+
+/// Table 1: feasibility of the 0.5 ms deadline across minimal configs.
+fn table1() {
+    banner("Table 1 — 0.5 ms feasibility of minimal configurations");
+    let table = feasibility_table(&ProcessingBudget::zero());
+    print!("{}", table.render());
+    let matches = table.verdicts() == paper_table1();
+    println!("matches the published Table 1: {}", if matches { "YES" } else { "NO" });
+    let rows: Vec<Vec<String>> = table
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.direction.label().into(),
+                c.config.into(),
+                format!("{:.1}", c.worst.latency.as_micros_f64()),
+                c.feasible.to_string(),
+            ]
+        })
+        .collect();
+    save("table1.csv", &to_csv(&["direction", "config", "worst_case_us", "feasible"], &rows));
+}
+
+/// Table 2: gNB per-layer processing/queuing times from the testbed sim.
+fn table2(pings: u64) {
+    banner("Table 2 — gNB layer processing and queuing time");
+    let cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(42);
+    let mut exp = PingExperiment::new(cfg);
+    let res = exp.run(pings);
+    let paper = [
+        ("SDAP", 4.65, 6.71),
+        ("PDCP", 8.29, 8.99),
+        ("RLC", 4.12, 8.37),
+        ("RLC-q", 484.20, 89.46),
+        ("MAC", 55.21, 16.31),
+        ("PHY", 41.55, 10.83),
+    ];
+    let measured = [
+        ("SDAP", &res.layers.sdap),
+        ("PDCP", &res.layers.pdcp),
+        ("RLC", &res.layers.rlc),
+        ("RLC-q", &res.layers.rlcq),
+        ("MAC", &res.layers.mac),
+        ("PHY", &res.layers.phy),
+    ];
+    println!(
+        "{:<8} {:>12} {:>10}   {:>12} {:>10}",
+        "layer", "mean[us]", "std[us]", "paper mean", "paper std"
+    );
+    let mut rows = Vec::new();
+    for ((name, st), (_, pm, ps)) in measured.iter().zip(paper.iter()) {
+        println!(
+            "{name:<8} {:>12.2} {:>10.2}   {:>12.2} {:>10.2}",
+            st.mean(),
+            st.std(),
+            pm,
+            ps
+        );
+        rows.push(vec![
+            (*name).into(),
+            format!("{:.2}", st.mean()),
+            format!("{:.2}", st.std()),
+            format!("{pm:.2}"),
+            format!("{ps:.2}"),
+        ]);
+    }
+    println!("({} pings; integrity failures: {})", pings, res.integrity_failures);
+    save(
+        "table2.csv",
+        &to_csv(&["layer", "mean_us", "std_us", "paper_mean_us", "paper_std_us"], &rows),
+    );
+}
+
+/// Fig 1: the three TDD configuration taxonomies, as slot diagrams.
+fn fig1() {
+    banner("Fig 1 — TDD configuration types");
+    let dddu = phy::TddConfig::dddu_testbed();
+    println!("(a) Common Configuration   pattern {} @ {} slots:", dddu.letters(), dddu.numerology());
+    print!("    ");
+    for s in 0..dddu.slots_per_period() {
+        print!("[{}]", dddu.slot_kind(s).letter());
+    }
+    println!("  (period {})", dddu.period());
+    let dm = phy::TddConfig::dm_minimal();
+    println!("    minimal DM @ µ2: [D][M]  (mixed slot: 6 DL | 2 guard | 6 UL symbols)");
+    println!("    period {}", dm.period());
+
+    let ms = phy::MiniSlotConfig::new(phy::Numerology::Mu2, phy::mini_slot::MiniSlotLen::Two);
+    println!(
+        "(b) Mini Slot              {} mini-slots of {} per slot after {} control symbols",
+        ms.mini_slots_per_slot(),
+        ms.mini_slot_duration(),
+        ms.control_symbols
+    );
+
+    println!("(c) Slot Format            TS 38.213 Table 11.1.1-1 (formats 0–45):");
+    for idx in [0u8, 1, 2, 28, 45] {
+        let f = phy::SlotFormat::by_index(idx).expect("format in table");
+        println!("    format {:>2}: {}", f.index, f.letters());
+    }
+}
+
+/// Fig 2: the journey of a ping request, narrated from a real trace.
+fn fig2() {
+    banner("Fig 2 — journey of a ping request");
+    let cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(7);
+    let mut exp = PingExperiment::new(cfg);
+    let res = exp.run(1);
+    let t = &res.traces[0];
+    println!("steps ① – ⑦ (uplink) and ⑧ – ⑪ (downlink):");
+    for (i, s) in t.ul.iter().enumerate() {
+        println!("  UL step {:>2}: {:<14} {:>9}", i + 1, s.label, format!("{}", s.duration()));
+    }
+    for (i, s) in t.dl.iter().enumerate() {
+        println!("  DL step {:>2}: {:<14} {:>9}", i + 1, s.label, format!("{}", s.duration()));
+    }
+}
+
+/// Fig 3: the system-level latency timeline of one ping.
+fn fig3() {
+    banner("Fig 3 — system-level latency breakdown (testbed DDDU)");
+    let cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(3);
+    let mut exp = PingExperiment::new(cfg);
+    let res = exp.run(1);
+    print!("{}", res.traces[0].render());
+}
+
+/// Fig 4: worst-case timelines for the DM configuration.
+fn fig4() {
+    banner("Fig 4 — worst-case latency, DM configuration");
+    let dm = ConfigUnderTest::TddCommon(phy::TddConfig::dm_minimal());
+    for dir in Direction::TABLE1_ROWS {
+        let wc = worst_case(&dm, dir, &ProcessingBudget::zero());
+        println!(
+            "{:<16} worst {:>9}  (deadline 500us: {})",
+            dir.label(),
+            format!("{}", wc.latency),
+            if wc.latency <= Duration::from_micros(500) { "meets" } else { "VIOLATES" }
+        );
+        for e in &wc.timeline {
+            println!("    {:<16} at {:>10}", e.label, format!("{:?}", e.at));
+        }
+    }
+}
+
+/// Fig 5: sample-submission latency vs number of samples, USB2 vs USB3.
+fn fig5() {
+    banner("Fig 5 — radio sample-submission latency (OS + hardware)");
+    let mut series = Vec::new();
+    let mut rows = Vec::new();
+    for kind in [InterfaceKind::Usb2, InterfaceKind::Usb3] {
+        let mut head = RadioHead::new(RadioHeadConfig {
+            interface: radio::FronthaulInterface::of_kind(kind),
+            ..RadioHeadConfig::usrp_b210(kind == InterfaceKind::Usb3)
+        });
+        let mut rng = SimRng::from_seed(5).stream(kind.name());
+        let mut pts = Vec::new();
+        for n in (2_000..=20_000).step_by(1_000) {
+            // A handful of draws per point: the paper plots raw
+            // per-submission measurements including spikes.
+            for _ in 0..5 {
+                let lat = head.submit_latency(n as u64, &mut rng).as_micros_f64();
+                pts.push((n as f64, lat));
+                rows.push(vec![kind.name().into(), n.to_string(), format!("{lat:.1}")]);
+            }
+        }
+        series.push((kind.name(), pts));
+    }
+    print!(
+        "{}",
+        ascii_series("submission latency vs samples", "number of samples", "latency µs", &series, 60)
+    );
+    save("fig5.csv", &to_csv(&["interface", "samples", "latency_us"], &rows));
+}
+
+/// Fig 6: one-way latency distributions, grant-based vs grant-free.
+fn fig6(pings: u64) {
+    banner("Fig 6 — one-way latency distributions (testbed DDDU)");
+    let mut rows = Vec::new();
+    for (panel, access) in [("(a) grant-based", AccessMode::GrantBased), ("(b) grant-free", AccessMode::GrantFree)] {
+        let cfg = StackConfig::testbed_dddu(access, true).with_seed(6);
+        let mut exp = PingExperiment::new(cfg);
+        let mut res = exp.run(pings);
+        for (dirname, rec) in [("Downlink", &res.dl), ("Uplink", &res.ul)] {
+            let h = rec.histogram_ms(0.0, 8.0, 40);
+            let pairs: Vec<(f64, f64)> = h.probabilities().collect();
+            print!(
+                "{}",
+                ascii_histogram(
+                    &format!("{panel} {dirname}"),
+                    "one-way latency [ms]",
+                    &pairs,
+                    40
+                )
+            );
+            for (x, p) in &pairs {
+                rows.push(vec![panel.into(), dirname.into(), format!("{x:.2}"), format!("{p:.5}")]);
+            }
+        }
+        let ul = res.ul_summary();
+        let dl = res.dl_summary();
+        println!(
+            "{panel}: UL mean {:.2} ms   DL mean {:.2} ms\n",
+            ul.mean_us / 1_000.0,
+            dl.mean_us / 1_000.0
+        );
+    }
+    save("fig6.csv", &to_csv(&["panel", "direction", "latency_ms", "probability"], &rows));
+}
+
+/// Extension X1: the mmWave (FR2) blockage study.
+fn fr2() {
+    banner("X1 — FR2 mmWave sub-ms fraction under blockage");
+    let busy = urllc_bench::fr2_study(channel::Fr2LinkConfig::busy_indoor(), 50_000, 1);
+    let clear = urllc_bench::fr2_study(channel::Fr2LinkConfig::clear_static(), 50_000, 1);
+    println!(
+        "busy indoor : sub-1ms fraction {:.3}  mean {:.1} ms  p99 {:.1} ms",
+        busy.sub_ms_fraction,
+        busy.mean_us / 1_000.0,
+        busy.p99_us / 1_000.0
+    );
+    println!(
+        "clear static: sub-1ms fraction {:.3}  mean {:.1} ms  p99 {:.1} ms",
+        clear.sub_ms_fraction,
+        clear.mean_us / 1_000.0,
+        clear.p99_us / 1_000.0
+    );
+    println!("(paper cites 4.4 % sub-ms for deployed mmWave — the busy-indoor regime)");
+}
+
+/// Extension X2: scheduler margin vs reliability (§6).
+fn reliability() {
+    banner("X2 — scheduler margin vs radio reliability");
+    let margins: Vec<Duration> = (4..=24).map(|i| Duration::from_micros(i * 50)).collect();
+    for (name, cfg, prep) in [
+        ("USRP B210 / USB3 / GP kernel", RadioHeadConfig::usrp_b210(true), 100u64),
+        ("PCIe SDR / RT kernel", RadioHeadConfig::pcie_low_latency(), 50),
+    ] {
+        let pts = margin_sweep(&cfg, Duration::from_micros(prep), 11_520, &margins, 20_000, 8);
+        println!("{name}:");
+        for p in pts.iter().filter(|p| p.reliability > 0.0 && p.reliability < 1.0) {
+            println!(
+                "  margin {:>7}  reliability {:.4}  mean slack {:>9}",
+                format!("{}", p.margin),
+                p.reliability,
+                format!("{}", p.mean_slack)
+            );
+        }
+        match min_margin_for(&pts, 0.99999) {
+            Some(m) => println!("  five-nines margin: {m}"),
+            None => println!("  five-nines margin: beyond swept range"),
+        }
+    }
+}
+
+/// §5 design-space search.
+fn design() {
+    banner("Design-space search (§5): feasible URLLC systems");
+    let s = DesignSearch::run();
+    print!("{}", s.render_feasible());
+}
+
+/// Extension X3: slot-format survey (standard formats repeated per slot).
+fn formats() {
+    banner("X3 — slot-format survey (TS 38.213 formats, repeated each slot)");
+    let survey = urllc_core::format_survey(&ProcessingBudget::zero());
+    print!("{}", urllc_core::formats::render_survey(&survey));
+    println!(
+        "(standard-defined per-slot D…U layouts reach mini-slot-class latency; \
+         the cost is UL symbols reserved in every slot — the §9 efficiency trade)"
+    );
+}
+
+/// Extension X4: multi-UE uplink scalability (§9).
+fn scale() {
+    banner("X4 — uplink latency and resource waste vs UE population (§9)");
+    let populations = [1usize, 4, 16, 48, 96, 192];
+    let mut rows = Vec::new();
+    println!(
+        "{:>6} {:>16} {:>12} {:>16} {:>12} {:>10}",
+        "UEs", "GF mean [ms]", "GF p99", "GB mean [ms]", "GB p99", "GF waste"
+    );
+    for &n in &populations {
+        let gf = &mut stack::scalability_sweep(AccessMode::GrantFree, &[n], 11)[0];
+        let gb = &mut stack::scalability_sweep(AccessMode::GrantBased, &[n], 11)[0];
+        let gf_s = gf.ul.summary();
+        let gb_s = gb.ul.summary();
+        println!(
+            "{n:>6} {:>16.2} {:>12.2} {:>16.2} {:>12.2} {:>9.1}%",
+            gf_s.mean_us / 1_000.0,
+            gf_s.p99_us / 1_000.0,
+            gb_s.mean_us / 1_000.0,
+            gb_s.p99_us / 1_000.0,
+            gf.wasted_fraction.unwrap_or(0.0) * 100.0
+        );
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.2}", gf_s.mean_us / 1_000.0),
+            format!("{:.2}", gb_s.mean_us / 1_000.0),
+            format!("{:.3}", gf.wasted_fraction.unwrap_or(0.0)),
+        ]);
+    }
+    println!(
+        "(grant-free wins while its pre-allocation fits the slot capacity, then its\n\
+         rotation period multiplies; grant-based holds its handshake cost until the\n\
+         grant queue itself saturates (~3.5 grants/ms here) and collapses. At low\n\
+         load most grant-free allocations sit idle — the §5/§9 trade, quantified.)"
+    );
+    save("scale.csv", &to_csv(&["ues", "gf_mean_ms", "gb_mean_ms", "gf_waste"], &rows));
+}
+
+/// Extension X5: HARQ retransmission steps under channel loss (§8).
+fn harq(pings: u64) {
+    banner("X5 — HARQ retransmission steps under channel loss");
+    let rtt = ran::harq::harq_round_trip(
+        &StackConfig::testbed_dddu(AccessMode::GrantFree, true).duplex,
+        false,
+        Duration::from_micros(50),
+    );
+    println!("UL HARQ round trip on the DDDU pattern: {rtt}");
+    for (name, link) in [
+        ("lossless", None),
+        ("indoor good", Some(channel::Fr1LinkConfig::indoor_good())),
+        ("cell edge", Some(channel::Fr1LinkConfig::cell_edge())),
+    ] {
+        let mut cfg = StackConfig::testbed_dddu(AccessMode::GrantFree, true).with_seed(13);
+        cfg.link = link;
+        let mut exp = PingExperiment::new(cfg);
+        let mut res = exp.run(pings);
+        let s = res.ul_summary();
+        println!(
+            "{name:<12} UL mean {:>7.2} ms  p99 {:>7.2} ms  max {:>7.2} ms  harq retx {:>5}  failures {:>3}",
+            s.mean_us / 1_000.0,
+            s.p99_us / 1_000.0,
+            s.max_us / 1_000.0,
+            res.harq_retx,
+            res.harq_failures
+        );
+    }
+    println!("(latency climbs in round-trip quanta — the §8 \"steps of 0.5 ms\" effect, at\n this pattern's quantum)");
+}
+
+/// Extension X6: RACH contention — the latency cliff past SR failure (§9).
+fn rach() {
+    banner("X6 — random-access contention vs population");
+    let cfg = ran::RachConfig::default();
+    println!(
+        "collision-free RACH worst case: {}  (vs the 0.5 ms URLLC budget)",
+        cfg.uncontended_worst_case()
+    );
+    println!("{:>6} {:>10} {:>12} {:>14} {:>10}", "UEs", "success", "collisions", "mean lat [ms]", "attempts");
+    for n in [1usize, 8, 32, 128, 512, 2048] {
+        let mut s = ran::simulate_contention(&cfg, n, 17);
+        let mean = if s.latency.is_empty() { 0.0 } else { s.latency.summary().mean_us / 1_000.0 };
+        println!(
+            "{n:>6} {:>9.1}% {:>11.1}% {:>14.2} {:>10.2}",
+            s.succeeded as f64 / n as f64 * 100.0,
+            s.collision_rate * 100.0,
+            mean,
+            s.mean_attempts
+        );
+    }
+    println!("(even collision-free random access is ~an order of magnitude past 0.5 ms —\n why the SR budget matters, and why bursts push it further)");
+}
+
+/// Extension X7: the 6G target (0.1 ms one-way, §1) across numerologies.
+fn sixg() {
+    banner("X7 — the 6G 0.1 ms one-way target");
+    use phy::mini_slot::{MiniSlotConfig, MiniSlotLen};
+    use phy::Numerology;
+    let deadline = Duration::from_micros(100);
+    let candidates: Vec<(String, ConfigUnderTest)> = vec![
+        ("DM @ u2 (FR1 floor)".into(), ConfigUnderTest::TddCommon(phy::TddConfig::dm_minimal())),
+        ("FDD @ u2".into(), ConfigUnderTest::Fdd { numerology: Numerology::Mu2 }),
+        ("mini-slot @ u2".into(), ConfigUnderTest::MiniSlot(MiniSlotConfig::new(Numerology::Mu2, MiniSlotLen::Two))),
+        ("FDD @ u3 (FR2)".into(), ConfigUnderTest::Fdd { numerology: Numerology::Mu3 }),
+        ("mini-slot @ u3 (FR2)".into(), ConfigUnderTest::MiniSlot(MiniSlotConfig::new(Numerology::Mu3, MiniSlotLen::Two))),
+        ("FDD @ u5 (FR2)".into(), ConfigUnderTest::Fdd { numerology: Numerology::Mu5 }),
+        ("mini-slot @ u6 (FR2)".into(), ConfigUnderTest::MiniSlot(MiniSlotConfig::new(Numerology::Mu6, MiniSlotLen::Two))),
+    ];
+    println!("{:<24} {:>14} {:>14} {:>14}", "configuration", "GB-UL", "GF-UL", "DL");
+    for (name, cfg) in &candidates {
+        let w = |d| worst_case(cfg, d, &ProcessingBudget::zero()).latency;
+        let row = [
+            w(Direction::UplinkGrantBased),
+            w(Direction::UplinkGrantFree),
+            w(Direction::Downlink),
+        ];
+        let mark = |l: Duration| {
+            format!("{}{}", l, if l <= deadline { " +" } else { " x" })
+        };
+        println!(
+            "{name:<24} {:>14} {:>14} {:>14}",
+            mark(row[0]),
+            mark(row[1]),
+            mark(row[2])
+        );
+    }
+    println!(
+        "(slot-based FR1 cannot reach 0.1 ms; only FR2 numerologies or sub-slot\n\
+         scheduling get there in protocol terms — and §5 already showed FR2's\n\
+         reliability problem. The 6G target squeezes from both sides.)"
+    );
+}
+
+/// Extension X8: URLLC/eMBB coexistence policies.
+fn coexist() {
+    banner("X8 — URLLC downlink latency under eMBB load");
+    use stack::{coexistence_sweep, CoexistencePolicy};
+    let loads = [0.0, 0.3, 0.6, 0.85, 0.95];
+    // Below this eMBB load the leftover capacity still fits one URLLC
+    // packet, so the Queue policy remains servable at all.
+    let queue_limit = 0.86;
+    println!("{:>8} {:>18} {:>18} {:>16}", "load", "queue mean [us]", "preempt mean [us]", "eMBB lost [B]");
+    for &l in &loads {
+        let queue_mean = if l <= queue_limit {
+            let q = &mut coexistence_sweep(CoexistencePolicy::Queue, &[l], 2_000, 21)[0];
+            format!("{:.1}", q.latency.summary().mean_us)
+        } else {
+            "unservable".into()
+        };
+        let p = &mut coexistence_sweep(CoexistencePolicy::Preempt, &[l], 2_000, 21)[0];
+        println!(
+            "{l:>8.2} {queue_mean:>18} {:>18.1} {:>16}",
+            p.latency.summary().mean_us,
+            p.embb_bytes_lost
+        );
+    }
+    println!("(queueing behind eMBB erodes the URLLC budget as the cell fills; preemption\n keeps URLLC flat and bills eMBB instead — the §1 coexistence literature's trade)");
+}
+
+fn save(name: &str, contents: &str) {
+    match write_artifact(name, contents) {
+        Ok(p) => println!("[saved {}]", p.display()),
+        Err(e) => eprintln!("[failed to save {name}: {e}]"),
+    }
+}

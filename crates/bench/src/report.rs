@@ -1,0 +1,110 @@
+//! ASCII plots and CSV output for the regenerated tables and figures.
+
+use std::fmt::Write as _;
+
+/// Renders an ASCII bar histogram from `(x, probability)` pairs (the shape
+/// of the paper's Fig 6 panels).
+pub fn ascii_histogram(title: &str, xlabel: &str, pairs: &[(f64, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let max_p = pairs.iter().map(|(_, p)| *p).fold(0.0_f64, f64::max).max(1e-12);
+    for (x, p) in pairs {
+        if *p <= 0.0 {
+            continue;
+        }
+        let bar = ((p / max_p) * width as f64).round() as usize;
+        let _ = writeln!(out, "{x:8.2} | {:<width$} {p:.4}", "#".repeat(bar.max(1)));
+    }
+    let _ = writeln!(out, "{:>8}   ({xlabel})", "");
+    out
+}
+
+/// Renders an ASCII scatter/line of `(x, y)` series (the shape of Fig 5):
+/// one row per x, column position proportional to y.
+pub fn ascii_series(
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+    width: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}   [y = {ylabel}]");
+    let ymax = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|(_, y)| *y))
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+    for (name, pts) in series {
+        let _ = writeln!(out, "-- {name}");
+        for (x, y) in pts {
+            let col = ((y / ymax) * width as f64).round() as usize;
+            let _ = writeln!(out, "{x:10.0} | {:>col$}  {y:.1}", "*", col = col.max(1));
+        }
+    }
+    let _ = writeln!(out, "{:>10}   ({xlabel})", "");
+    out
+}
+
+/// Serialises rows as CSV (header + rows of equal arity).
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", header.join(","));
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "CSV row arity mismatch");
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+/// Writes an artifact under `results/` (creating the directory), returning
+/// the path written.
+pub fn write_artifact(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_scales_bars() {
+        let s = ascii_histogram("t", "ms", &[(1.0, 0.5), (2.0, 0.25), (3.0, 0.0)], 20);
+        assert!(s.contains("1.00"));
+        assert!(s.contains("####################")); // the max bar
+        assert!(!s.contains("3.00")); // zero bins skipped
+    }
+
+    #[test]
+    fn series_lists_all_points() {
+        let s = ascii_series(
+            "t",
+            "samples",
+            "µs",
+            &[("USB 2.0", vec![(2000.0, 185.0), (20000.0, 400.0)])],
+            30,
+        );
+        assert!(s.contains("USB 2.0"));
+        assert!(s.contains("2000"));
+        assert!(s.contains("400.0"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert_eq!(csv, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn csv_rejects_ragged_rows() {
+        to_csv(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,204 @@
+//! FR1 (sub-6 GHz) link model: SNR with shadowing → packet error rate.
+//!
+//! The PER curve is the standard logistic ("waterfall") approximation of a
+//! coded link: below a threshold SNR the block error rate saturates at 1,
+//! above it it falls off exponentially. This is the granularity at which
+//! the paper treats channel reliability ("the unpredictable nature of the
+//! wireless channel, which can lead to packet loss", §6) — individual
+//! packet losses that the RLC/HARQ machinery must recover, paying latency.
+
+use serde::{Deserialize, Serialize};
+use sim::SimRng;
+
+/// Configuration of an FR1 link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fr1LinkConfig {
+    /// Mean SNR at the receiver, dB.
+    pub mean_snr_db: f64,
+    /// Log-normal shadowing standard deviation, dB.
+    pub shadowing_std_db: f64,
+    /// SNR at which the PER is 50 % for the MCS in use, dB.
+    pub waterfall_snr_db: f64,
+    /// Steepness of the PER waterfall, dB per decade-ish (larger = sharper).
+    pub waterfall_slope: f64,
+    /// Error floor (residual PER at arbitrarily high SNR — implementation
+    /// losses; keeps reliability numbers honest at the 1e-5 scale).
+    pub error_floor: f64,
+}
+
+impl Fr1LinkConfig {
+    /// A healthy private-5G indoor link: high SNR, mild shadowing, PER in
+    /// the 1e-3…1e-4 range before retransmissions.
+    pub fn indoor_good() -> Fr1LinkConfig {
+        Fr1LinkConfig {
+            mean_snr_db: 25.0,
+            shadowing_std_db: 3.0,
+            waterfall_snr_db: 5.0,
+            waterfall_slope: 1.2,
+            error_floor: 1e-5,
+        }
+    }
+
+    /// A cell-edge link: loss is frequent enough that HARQ/RLC latency
+    /// matters.
+    pub fn cell_edge() -> Fr1LinkConfig {
+        Fr1LinkConfig {
+            mean_snr_db: 8.0,
+            shadowing_std_db: 4.0,
+            waterfall_snr_db: 5.0,
+            waterfall_slope: 1.2,
+            error_floor: 1e-5,
+        }
+    }
+
+    /// An ideal lossless link (analytical baselines and protocol tests).
+    pub fn lossless() -> Fr1LinkConfig {
+        Fr1LinkConfig {
+            mean_snr_db: 60.0,
+            shadowing_std_db: 0.0,
+            waterfall_snr_db: 5.0,
+            waterfall_slope: 1.2,
+            error_floor: 0.0,
+        }
+    }
+
+    /// Packet error rate at a given instantaneous SNR.
+    pub fn per_at_snr(&self, snr_db: f64) -> f64 {
+        let x = (snr_db - self.waterfall_snr_db) * self.waterfall_slope;
+        let logistic = 1.0 / (1.0 + x.exp());
+        (logistic + self.error_floor).min(1.0)
+    }
+}
+
+/// A stateful FR1 link.
+#[derive(Debug, Clone)]
+pub struct Fr1Link {
+    config: Fr1LinkConfig,
+    transmissions: u64,
+    losses: u64,
+}
+
+impl Fr1Link {
+    /// Creates a link.
+    pub fn new(config: Fr1LinkConfig) -> Fr1Link {
+        Fr1Link { config, transmissions: 0, losses: 0 }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &Fr1LinkConfig {
+        &self.config
+    }
+
+    /// Draws the instantaneous SNR (mean + Gaussian shadowing in dB).
+    pub fn sample_snr_db(&self, rng: &mut SimRng) -> f64 {
+        if self.config.shadowing_std_db == 0.0 {
+            return self.config.mean_snr_db;
+        }
+        // Box-Muller from two uniforms (keeps the dependency surface small).
+        let u1 = rng.uniform01().max(1e-12);
+        let u2 = rng.uniform01();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+        self.config.mean_snr_db + z * self.config.shadowing_std_db
+    }
+
+    /// Simulates one packet transmission; returns `true` when the packet is
+    /// lost.
+    pub fn packet_lost(&mut self, rng: &mut SimRng) -> bool {
+        self.transmissions += 1;
+        let snr = self.sample_snr_db(rng);
+        let lost = rng.chance(self.config.per_at_snr(snr));
+        if lost {
+            self.losses += 1;
+        }
+        lost
+    }
+
+    /// Observed loss fraction so far.
+    pub fn observed_loss_rate(&self) -> f64 {
+        if self.transmissions == 0 {
+            0.0
+        } else {
+            self.losses as f64 / self.transmissions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_curve_is_monotone_decreasing() {
+        let c = Fr1LinkConfig::indoor_good();
+        let mut prev = 1.1;
+        for snr10 in -100..400 {
+            let per = c.per_at_snr(snr10 as f64 / 10.0);
+            assert!(per <= prev + 1e-12, "PER rose at {}", snr10 as f64 / 10.0);
+            assert!((0.0..=1.0).contains(&per));
+            prev = per;
+        }
+    }
+
+    #[test]
+    fn per_saturates_at_extremes() {
+        let c = Fr1LinkConfig::indoor_good();
+        assert!(c.per_at_snr(-30.0) > 0.999);
+        assert!(c.per_at_snr(40.0) < 1e-4);
+        // High-SNR PER bottoms out at the error floor.
+        assert!(c.per_at_snr(60.0) >= c.error_floor);
+    }
+
+    #[test]
+    fn waterfall_midpoint() {
+        let c = Fr1LinkConfig::indoor_good();
+        let per = c.per_at_snr(c.waterfall_snr_db);
+        assert!((per - 0.5).abs() < 0.01, "PER at waterfall = {per}");
+    }
+
+    #[test]
+    fn lossless_never_loses() {
+        let mut link = Fr1Link::new(Fr1LinkConfig::lossless());
+        let mut rng = SimRng::from_seed(0);
+        for _ in 0..10_000 {
+            assert!(!link.packet_lost(&mut rng));
+        }
+        assert_eq!(link.observed_loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn indoor_loss_rate_is_small_but_nonzero() {
+        let mut link = Fr1Link::new(Fr1LinkConfig::indoor_good());
+        let mut rng = SimRng::from_seed(1);
+        for _ in 0..200_000 {
+            link.packet_lost(&mut rng);
+        }
+        let rate = link.observed_loss_rate();
+        assert!(rate > 0.0, "expected some loss");
+        assert!(rate < 0.01, "indoor link too lossy: {rate}");
+    }
+
+    #[test]
+    fn cell_edge_lossier_than_indoor() {
+        let mut edge = Fr1Link::new(Fr1LinkConfig::cell_edge());
+        let mut good = Fr1Link::new(Fr1LinkConfig::indoor_good());
+        let mut rng_e = SimRng::from_seed(2);
+        let mut rng_g = SimRng::from_seed(2);
+        for _ in 0..100_000 {
+            edge.packet_lost(&mut rng_e);
+            good.packet_lost(&mut rng_g);
+        }
+        assert!(edge.observed_loss_rate() > 10.0 * good.observed_loss_rate());
+    }
+
+    #[test]
+    fn shadowing_spreads_snr() {
+        let link = Fr1Link::new(Fr1LinkConfig::indoor_good());
+        let mut rng = SimRng::from_seed(3);
+        let mut st = sim::StreamingStats::new();
+        for _ in 0..50_000 {
+            st.push(link.sample_snr_db(&mut rng));
+        }
+        assert!((st.mean() - 25.0).abs() < 0.1);
+        assert!((st.std() - 3.0).abs() < 0.1);
+    }
+}

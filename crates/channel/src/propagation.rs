@@ -1,0 +1,45 @@
+//! Propagation delay.
+//!
+//! At private-5G scale (tens to hundreds of metres) radio propagation costs
+//! well under a microsecond — negligible next to every other latency source
+//! in the paper, but accounted for so the end-to-end budget is complete and
+//! so that the model stays honest if someone simulates a 30 km rural cell.
+
+use sim::Duration;
+
+/// Speed of light in vacuum, m/s.
+const C_M_PER_S: f64 = 299_792_458.0;
+
+/// One-way propagation delay over `distance_m` metres.
+pub fn propagation_delay(distance_m: f64) -> Duration {
+    assert!(distance_m >= 0.0 && distance_m.is_finite(), "invalid distance");
+    Duration::from_micros_f64(distance_m / C_M_PER_S * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hundred_meters_is_a_third_of_a_microsecond() {
+        let d = propagation_delay(100.0);
+        assert!(d > Duration::from_nanos(330) && d < Duration::from_nanos(336), "{d}");
+    }
+
+    #[test]
+    fn zero_distance_zero_delay() {
+        assert_eq!(propagation_delay(0.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn thirty_km_rural_cell_is_100us() {
+        let d = propagation_delay(30_000.0);
+        assert!(d > Duration::from_micros(99) && d < Duration::from_micros(101), "{d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid distance")]
+    fn rejects_negative_distance() {
+        propagation_delay(-1.0);
+    }
+}

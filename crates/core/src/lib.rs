@@ -1,0 +1,43 @@
+//! # urllc-core — the paper's contribution: system-level URLLC latency
+//! analysis
+//!
+//! *Ultra-Reliable Low-Latency in 5G: A Close Reality or a Distant Goal?*
+//! (HotNets '24) argues that URLLC feasibility can only be judged by
+//! analysing the **whole system** — protocol, processing and radio latency
+//! together — and backs it with a worst-case analysis of every minimal 5G
+//! configuration (Table 1, Fig 4) plus testbed measurements. This crate is
+//! that analysis as a library:
+//!
+//! * [`model`] — the configuration space under analysis (TDD Common
+//!   Configuration / Mini-Slot / FDD × grant-based / grant-free) and the
+//!   deterministic processing budget that can be layered on top;
+//! * [`mod@worst_case`] — exact worst-case one-way latency for DL, grant-free
+//!   UL and grant-based UL under the slot-boundary scheduling semantics of
+//!   §2/§5 (documented in detail there), with event timelines (Fig 4);
+//! * [`feasibility`] — the Table 1 generator: evaluates the 0.5 ms URLLC
+//!   deadline over all minimal configurations and cross-checks the paper's
+//!   ✓/✗ pattern;
+//! * [`decompose`] — the §4 latency taxonomy: protocol vs processing vs
+//!   radio shares of a latency budget;
+//! * [`reliability`] — the §6 analysis: how non-deterministic latency
+//!   (OS jitter) converts into deadline misses, and the
+//!   margin-vs-reliability trade;
+//! * [`design`] — design-space search over numerology × pattern × access ×
+//!   radio × kernel, quantifying §5's conclusion that "the set of possible
+//!   system designs is quite limited".
+
+pub mod decompose;
+pub mod design;
+pub mod feasibility;
+pub mod formats;
+pub mod model;
+pub mod reliability;
+pub mod worst_case;
+
+pub use decompose::{LatencyBreakdown, SourceShare};
+pub use design::{DesignPoint, DesignSearch, DesignVerdict};
+pub use feasibility::{feasibility_table, paper_table1, FeasibilityTable};
+pub use formats::{format_survey, FormatVerdict};
+pub use model::{AccessScheme, ConfigUnderTest, ProcessingBudget};
+pub use reliability::{deadline_miss_probability, margin_sweep, ReliabilityPoint};
+pub use worst_case::{worst_case, Direction, WorstCase};

@@ -1,0 +1,176 @@
+//! GTP-U header codec (TS 29.281 §5.1).
+//!
+//! The mandatory 8-byte header:
+//!
+//! ```text
+//! | ver(3)=1 | PT(1)=1 | R(1) | E(1) | S(1) | PN(1) |  message type (8) |
+//! |                length (16)                       |
+//! |                         TEID (32)                                   |
+//! ```
+//!
+//! plus a 4-byte optional field block (sequence number ‖ N-PDU ‖ next ext)
+//! when any of E/S/PN is set. `length` counts everything after the first
+//! 8 bytes.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// The registered GTP-U UDP port.
+pub const GTPU_PORT: u16 = 2152;
+
+/// Message type of a G-PDU (encapsulated user packet).
+pub const MSG_GPDU: u8 = 255;
+
+/// Message type of an echo request (path management).
+pub const MSG_ECHO_REQUEST: u8 = 1;
+
+/// Errors from GTP-U decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GtpuError {
+    /// Packet shorter than the mandatory header (or its declared length).
+    Truncated,
+    /// Version field is not 1 or PT is not GTP.
+    BadVersion,
+}
+
+impl core::fmt::Display for GtpuError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GtpuError::Truncated => write!(f, "GTP-U packet truncated"),
+            GtpuError::BadVersion => write!(f, "not a GTPv1-U packet"),
+        }
+    }
+}
+
+impl std::error::Error for GtpuError {}
+
+/// A decoded GTP-U header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GtpuHeader {
+    /// Message type ([`MSG_GPDU`] for user data).
+    pub message_type: u8,
+    /// Tunnel endpoint identifier.
+    pub teid: u32,
+    /// Optional sequence number (sets the S flag when present).
+    pub sequence: Option<u16>,
+}
+
+impl GtpuHeader {
+    /// A G-PDU header for the given tunnel.
+    pub fn gpdu(teid: u32) -> GtpuHeader {
+        GtpuHeader { message_type: MSG_GPDU, teid, sequence: None }
+    }
+
+    /// Encodes header + payload into a wire packet.
+    pub fn encode(&self, payload: &[u8]) -> Bytes {
+        let opt = self.sequence.is_some();
+        let opt_len = if opt { 4 } else { 0 };
+        let length = (payload.len() + opt_len) as u16;
+        let mut out = Vec::with_capacity(8 + opt_len + payload.len());
+        // version 1, PT=1 (GTP), S flag per sequence.
+        out.push(0b0011_0000 | if opt { 0b0000_0010 } else { 0 });
+        out.push(self.message_type);
+        out.extend_from_slice(&length.to_be_bytes());
+        out.extend_from_slice(&self.teid.to_be_bytes());
+        if let Some(seq) = self.sequence {
+            out.extend_from_slice(&seq.to_be_bytes());
+            out.push(0); // N-PDU number
+            out.push(0); // next extension header type: none
+        }
+        out.extend_from_slice(payload);
+        Bytes::from(out)
+    }
+
+    /// Decodes a wire packet into `(header, payload)`.
+    pub fn decode(packet: &Bytes) -> Result<(GtpuHeader, Bytes), GtpuError> {
+        if packet.len() < 8 {
+            return Err(GtpuError::Truncated);
+        }
+        let flags = packet[0];
+        if flags >> 5 != 0b001 || flags & 0b0001_0000 == 0 {
+            return Err(GtpuError::BadVersion);
+        }
+        let message_type = packet[1];
+        let length = u16::from_be_bytes([packet[2], packet[3]]) as usize;
+        let teid = u32::from_be_bytes([packet[4], packet[5], packet[6], packet[7]]);
+        if packet.len() < 8 + length {
+            return Err(GtpuError::Truncated);
+        }
+        let has_opt = flags & 0b0000_0111 != 0;
+        let (sequence, payload_start) = if has_opt {
+            if length < 4 {
+                return Err(GtpuError::Truncated);
+            }
+            let seq = if flags & 0b0000_0010 != 0 {
+                Some(u16::from_be_bytes([packet[8], packet[9]]))
+            } else {
+                None
+            };
+            (seq, 12)
+        } else {
+            (None, 8)
+        };
+        let payload = packet.slice(payload_start..8 + length);
+        Ok((GtpuHeader { message_type, teid, sequence }, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpdu_roundtrip() {
+        let h = GtpuHeader::gpdu(0xDEAD_BEEF);
+        let payload = b"ip packet bytes";
+        let pkt = h.encode(payload);
+        assert_eq!(pkt.len(), 8 + payload.len());
+        let (dec, body) = GtpuHeader::decode(&pkt).unwrap();
+        assert_eq!(dec, h);
+        assert_eq!(&body[..], payload);
+    }
+
+    #[test]
+    fn sequence_number_roundtrip() {
+        let h = GtpuHeader { message_type: MSG_GPDU, teid: 7, sequence: Some(0x1234) };
+        let pkt = h.encode(b"data");
+        assert_eq!(pkt.len(), 12 + 4);
+        let (dec, body) = GtpuHeader::decode(&pkt).unwrap();
+        assert_eq!(dec.sequence, Some(0x1234));
+        assert_eq!(&body[..], b"data");
+    }
+
+    #[test]
+    fn empty_payload() {
+        let pkt = GtpuHeader::gpdu(1).encode(b"");
+        let (h, body) = GtpuHeader::decode(&pkt).unwrap();
+        assert_eq!(h.teid, 1);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn rejects_short_and_bad_version() {
+        assert_eq!(GtpuHeader::decode(&Bytes::from_static(&[0x30])).unwrap_err(), GtpuError::Truncated);
+        let mut pkt = GtpuHeader::gpdu(1).encode(b"x").to_vec();
+        pkt[0] = 0x50; // version 2
+        assert_eq!(GtpuHeader::decode(&Bytes::from(pkt)).unwrap_err(), GtpuError::BadVersion);
+        // PT = 0 (GTP').
+        let mut pkt = GtpuHeader::gpdu(1).encode(b"x").to_vec();
+        pkt[0] = 0x20;
+        assert_eq!(GtpuHeader::decode(&Bytes::from(pkt)).unwrap_err(), GtpuError::BadVersion);
+    }
+
+    #[test]
+    fn rejects_length_beyond_packet() {
+        let mut pkt = GtpuHeader::gpdu(1).encode(b"abc").to_vec();
+        pkt[3] = 200; // declared length 200, actual 3
+        assert_eq!(GtpuHeader::decode(&Bytes::from(pkt)).unwrap_err(), GtpuError::Truncated);
+    }
+
+    #[test]
+    fn echo_request_type_preserved() {
+        let h = GtpuHeader { message_type: MSG_ECHO_REQUEST, teid: 0, sequence: Some(1) };
+        let (dec, _) = GtpuHeader::decode(&h.encode(b"")).unwrap();
+        assert_eq!(dec.message_type, MSG_ECHO_REQUEST);
+    }
+}

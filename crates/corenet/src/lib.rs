@@ -1,0 +1,24 @@
+//! # urllc-corenet — 5G core user plane
+//!
+//! The last hop of the paper's Fig 2: the gNB encapsulates the
+//! reconstructed packet in GTP-U and forwards it over the N3 interface to
+//! the User Plane Function, which decapsulates it onto the data network.
+//! The paper scopes its analysis to the RAN (§9: "URLLC in the 5G Core" is
+//! an open problem), so the core here is deliberately thin but real:
+//!
+//! * [`gtpu`] — the GTP-U header codec (TS 29.281);
+//! * [`upf`] — TEID-keyed session lookup, encapsulation/decapsulation;
+//! * [`backbone`] — N3/N6 transport delay models;
+//! * [`qos`] — the standardised 5QI table (TS 23.501): packet delay
+//!   budgets and error-rate targets, and what a configuration's latency
+//!   can legally carry.
+
+pub mod backbone;
+pub mod gtpu;
+pub mod qos;
+pub mod upf;
+
+pub use backbone::BackboneLink;
+pub use gtpu::{GtpuHeader, GTPU_PORT};
+pub use qos::{FiveQi, ResourceType};
+pub use upf::{Upf, UpfError};

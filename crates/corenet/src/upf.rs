@@ -1,0 +1,183 @@
+//! The User Plane Function: tunnel endpoint of the N3 interface.
+//!
+//! The UPF maps TEIDs to PDU sessions, decapsulating uplink G-PDUs toward
+//! the data network and encapsulating downlink packets toward the right
+//! gNB tunnel (paper Fig 2: "The UPF decapsulates the payload and forwards
+//! it to the destination over IP").
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::gtpu::{GtpuError, GtpuHeader, MSG_GPDU};
+
+/// A PDU session record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Session {
+    /// Uplink TEID (gNB → UPF direction, allocated by the UPF).
+    pub ul_teid: u32,
+    /// Downlink TEID (UPF → gNB direction, allocated by the gNB).
+    pub dl_teid: u32,
+    /// The UE's IP address, abstracted to an opaque id.
+    pub ue_addr: u32,
+}
+
+/// Errors from UPF processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpfError {
+    /// GTP-U parsing failed.
+    Gtpu(GtpuError),
+    /// No session for this TEID.
+    UnknownTeid {
+        /// The unmatched TEID.
+        teid: u32,
+    },
+    /// No session for this UE address.
+    UnknownUe {
+        /// The unmatched UE address.
+        ue_addr: u32,
+    },
+    /// A non-G-PDU message reached the data path.
+    NotGpdu,
+}
+
+impl From<GtpuError> for UpfError {
+    fn from(e: GtpuError) -> UpfError {
+        UpfError::Gtpu(e)
+    }
+}
+
+impl core::fmt::Display for UpfError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UpfError::Gtpu(e) => write!(f, "GTP-U error: {e}"),
+            UpfError::UnknownTeid { teid } => write!(f, "no session for TEID {teid}"),
+            UpfError::UnknownUe { ue_addr } => write!(f, "no session for UE {ue_addr}"),
+            UpfError::NotGpdu => write!(f, "unexpected GTP-U message type on data path"),
+        }
+    }
+}
+
+impl std::error::Error for UpfError {}
+
+/// The UPF user-plane state.
+#[derive(Debug, Clone, Default)]
+pub struct Upf {
+    by_ul_teid: BTreeMap<u32, Session>,
+    by_ue: BTreeMap<u32, Session>,
+    next_teid: u32,
+    /// Forwarded packet counters (uplink, downlink).
+    pub forwarded: (u64, u64),
+}
+
+impl Upf {
+    /// Creates an empty UPF.
+    pub fn new() -> Upf {
+        Upf { next_teid: 1, ..Upf::default() }
+    }
+
+    /// Establishes a PDU session; the UPF allocates the uplink TEID, the
+    /// caller (gNB) supplies the downlink TEID it listens on.
+    pub fn establish_session(&mut self, ue_addr: u32, dl_teid: u32) -> Session {
+        let ul_teid = self.next_teid;
+        self.next_teid += 1;
+        let s = Session { ul_teid, dl_teid, ue_addr };
+        self.by_ul_teid.insert(ul_teid, s);
+        self.by_ue.insert(ue_addr, s);
+        s
+    }
+
+    /// Number of active sessions.
+    pub fn sessions(&self) -> usize {
+        self.by_ul_teid.len()
+    }
+
+    /// Uplink: takes an N3 packet from a gNB, returns the inner payload for
+    /// the data network plus the session it belongs to.
+    pub fn uplink(&mut self, n3_packet: &Bytes) -> Result<(Session, Bytes), UpfError> {
+        let (header, payload) = GtpuHeader::decode(n3_packet)?;
+        if header.message_type != MSG_GPDU {
+            return Err(UpfError::NotGpdu);
+        }
+        let session = self
+            .by_ul_teid
+            .get(&header.teid)
+            .copied()
+            .ok_or(UpfError::UnknownTeid { teid: header.teid })?;
+        self.forwarded.0 += 1;
+        Ok((session, payload))
+    }
+
+    /// Downlink: takes a data-network packet for `ue_addr`, returns the N3
+    /// packet to send to the gNB.
+    pub fn downlink(&mut self, ue_addr: u32, payload: &Bytes) -> Result<Bytes, UpfError> {
+        let session =
+            self.by_ue.get(&ue_addr).copied().ok_or(UpfError::UnknownUe { ue_addr })?;
+        self.forwarded.1 += 1;
+        Ok(GtpuHeader::gpdu(session.dl_teid).encode(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_lifecycle_and_forwarding() {
+        let mut upf = Upf::new();
+        let s = upf.establish_session(0x0A00_0001, 42);
+        assert_eq!(upf.sessions(), 1);
+
+        // Uplink: gNB wraps a packet in the UL tunnel.
+        let inner = Bytes::from_static(b"ping request");
+        let n3 = GtpuHeader::gpdu(s.ul_teid).encode(&inner);
+        let (sess, payload) = upf.uplink(&n3).unwrap();
+        assert_eq!(sess.ue_addr, 0x0A00_0001);
+        assert_eq!(payload, inner);
+
+        // Downlink: reply comes back for the UE address.
+        let reply = Bytes::from_static(b"ping reply");
+        let n3_dl = upf.downlink(0x0A00_0001, &reply).unwrap();
+        let (h, body) = GtpuHeader::decode(&n3_dl).unwrap();
+        assert_eq!(h.teid, 42); // the gNB's DL TEID
+        assert_eq!(body, reply);
+        assert_eq!(upf.forwarded, (1, 1));
+    }
+
+    #[test]
+    fn unknown_teid_rejected() {
+        let mut upf = Upf::new();
+        let n3 = GtpuHeader::gpdu(999).encode(b"x");
+        assert_eq!(upf.uplink(&n3).unwrap_err(), UpfError::UnknownTeid { teid: 999 });
+    }
+
+    #[test]
+    fn unknown_ue_rejected() {
+        let mut upf = Upf::new();
+        assert_eq!(
+            upf.downlink(7, &Bytes::from_static(b"x")).unwrap_err(),
+            UpfError::UnknownUe { ue_addr: 7 }
+        );
+    }
+
+    #[test]
+    fn non_gpdu_rejected_on_data_path() {
+        let mut upf = Upf::new();
+        let s = upf.establish_session(1, 2);
+        let echo = GtpuHeader { message_type: 1, teid: s.ul_teid, sequence: Some(0) }.encode(b"");
+        assert_eq!(upf.uplink(&echo).unwrap_err(), UpfError::NotGpdu);
+    }
+
+    #[test]
+    fn teids_are_unique_per_session() {
+        let mut upf = Upf::new();
+        let a = upf.establish_session(1, 10);
+        let b = upf.establish_session(2, 20);
+        assert_ne!(a.ul_teid, b.ul_teid);
+        // Each UE's downlink goes through its own tunnel.
+        let pa = upf.downlink(1, &Bytes::from_static(b"a")).unwrap();
+        let pb = upf.downlink(2, &Bytes::from_static(b"b")).unwrap();
+        assert_eq!(GtpuHeader::decode(&pa).unwrap().0.teid, 10);
+        assert_eq!(GtpuHeader::decode(&pb).unwrap().0.teid, 20);
+    }
+}

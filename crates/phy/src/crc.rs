@@ -1,0 +1,161 @@
+//! CRC attachment (TS 38.212 §5.1).
+//!
+//! NR uses five cyclic generator polynomials: CRC24A (transport blocks),
+//! CRC24B (code blocks), CRC24C (BCH), CRC16 (small transport blocks) and
+//! CRC11/CRC6 (polar-coded control). All are implemented here as one
+//! generic MSB-first bitwise engine over byte slices.
+
+use serde::{Deserialize, Serialize};
+
+/// A CRC generator polynomial with its width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CrcPoly {
+    /// Polynomial width in bits (degree).
+    pub width: u32,
+    /// Polynomial coefficients below the leading term, MSB-first.
+    pub poly: u32,
+}
+
+/// gCRC24A(D) = D²⁴+D²³+D¹⁸+D¹⁷+D¹⁴+D¹¹+D¹⁰+D⁷+D⁶+D⁵+D⁴+D³+D+1 —
+/// attached to transport blocks.
+pub const CRC24A: CrcPoly = CrcPoly { width: 24, poly: 0x86_4C_FB };
+/// gCRC24B(D) = D²⁴+D²³+D⁶+D⁵+D+1 — attached to code blocks.
+pub const CRC24B: CrcPoly = CrcPoly { width: 24, poly: 0x80_00_63 };
+/// gCRC24C(D) — broadcast channel.
+pub const CRC24C: CrcPoly = CrcPoly { width: 24, poly: 0xB2_B1_17 };
+/// gCRC16(D) = D¹⁶+D¹²+D⁵+1 (CCITT) — small transport blocks.
+pub const CRC16: CrcPoly = CrcPoly { width: 16, poly: 0x10_21 };
+/// gCRC11(D) = D¹¹+D¹⁰+D⁹+D⁵+1 — polar-coded UCI.
+pub const CRC11: CrcPoly = CrcPoly { width: 11, poly: 0x6_21 };
+/// gCRC6(D) = D⁶+D⁵+1 — short UCI.
+pub const CRC6: CrcPoly = CrcPoly { width: 6, poly: 0x21 };
+
+impl CrcPoly {
+    /// Computes the CRC remainder of `data` (MSB-first, zero initial state,
+    /// no final XOR — the TS 38.212 convention).
+    pub fn compute(&self, data: &[u8]) -> u32 {
+        let mut reg: u32 = 0;
+        let top: u32 = 1 << (self.width - 1);
+        let mask: u32 = if self.width == 32 { u32::MAX } else { (1 << self.width) - 1 };
+        for &byte in data {
+            for bit in (0..8).rev() {
+                let inbit = u32::from((byte >> bit) & 1);
+                let feedback = ((reg >> (self.width - 1)) & 1) ^ inbit;
+                reg = (reg << 1) & mask;
+                if feedback == 1 {
+                    reg ^= self.poly & mask;
+                    reg |= 0; // poly's implicit leading term already shifted out
+                }
+            }
+        }
+        let _ = top;
+        reg & mask
+    }
+
+    /// Appends the CRC to `data` as whole bytes (width rounded up to a
+    /// multiple of 8, left-padded with zero bits — 24- and 16-bit CRCs are
+    /// byte-aligned already, which is all the data path uses).
+    pub fn attach(&self, data: &[u8]) -> Vec<u8> {
+        let crc = self.compute(data);
+        let bytes = self.width.div_ceil(8) as usize;
+        let mut out = Vec::with_capacity(data.len() + bytes);
+        out.extend_from_slice(data);
+        for i in (0..bytes).rev() {
+            out.push((crc >> (8 * i)) as u8);
+        }
+        out
+    }
+
+    /// Checks a CRC-suffixed message; returns the payload on success.
+    pub fn check<'a>(&self, message: &'a [u8]) -> Option<&'a [u8]> {
+        let bytes = self.width.div_ceil(8) as usize;
+        if message.len() < bytes {
+            return None;
+        }
+        let (payload, tail) = message.split_at(message.len() - bytes);
+        let mut got: u32 = 0;
+        for &b in tail {
+            got = (got << 8) | u32::from(b);
+        }
+        if self.compute(payload) == got {
+            Some(payload)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_of_empty_is_zero() {
+        for p in [CRC24A, CRC24B, CRC24C, CRC16, CRC11, CRC6] {
+            assert_eq!(p.compute(&[]), 0);
+        }
+    }
+
+    #[test]
+    fn crc_of_zeros_is_zero() {
+        assert_eq!(CRC24A.compute(&[0u8; 16]), 0);
+        assert_eq!(CRC16.compute(&[0u8; 16]), 0);
+    }
+
+    #[test]
+    fn crc16_ccitt_known_vector() {
+        // CRC16/XMODEM ("123456789") = 0x31C3; gCRC16 is the same
+        // polynomial with zero init and no final XOR.
+        assert_eq!(CRC16.compute(b"123456789"), 0x31C3);
+    }
+
+    #[test]
+    fn attach_check_roundtrip() {
+        let data = b"hello 5G world";
+        for p in [CRC24A, CRC24B, CRC24C, CRC16, CRC11, CRC6] {
+            let msg = p.attach(data);
+            assert_eq!(p.check(&msg), Some(&data[..]), "poly {p:?}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_errors() {
+        let data = b"payload under test";
+        let msg = CRC24A.attach(data);
+        for byte in 0..msg.len() {
+            for bit in 0..8 {
+                let mut corrupted = msg.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_eq!(CRC24A.check(&corrupted), None, "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_burst_errors_up_to_width() {
+        // A CRC of width w detects all burst errors of length <= w.
+        let data = vec![0xA5u8; 64];
+        let msg = CRC16.attach(&data);
+        for start in 0..(msg.len() - 2) {
+            let mut corrupted = msg.clone();
+            corrupted[start] ^= 0xFF;
+            corrupted[start + 1] ^= 0xFF;
+            assert_eq!(CRC16.check(&corrupted), None, "missed burst at {start}");
+        }
+    }
+
+    #[test]
+    fn check_rejects_short_messages() {
+        assert_eq!(CRC24A.check(&[0x00, 0x01]), None);
+        assert_eq!(CRC24A.check(&[]), None);
+    }
+
+    #[test]
+    fn different_polys_disagree() {
+        let data = b"disambiguate";
+        let a = CRC24A.compute(data);
+        let b = CRC24B.compute(data);
+        let c = CRC24C.compute(data);
+        assert!(a != b && b != c && a != c);
+    }
+}

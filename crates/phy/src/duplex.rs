@@ -1,0 +1,297 @@
+//! Unified duplexing abstraction: TDD Common Configuration vs FDD.
+//!
+//! Higher layers (MAC scheduling, the analytical model) ask one question of
+//! the duplexing scheme: *given a packet ready at instant t, when is the
+//! first transmission opportunity in each direction?* This module answers
+//! it uniformly for TDD and FDD.
+//!
+//! Transmission-opportunity semantics follow the paper's §5 worst-case
+//! reasoning: resource allocation for a slot is decided at (or before) the
+//! slot boundary, so a packet is eligible for the first UL/DL-capable slot
+//! whose *start* is at or after the instant the packet became ready —
+//! arriving "just after a slot starts" (the paper's worst case) means
+//! waiting for the next opportunity.
+
+use serde::{Deserialize, Serialize};
+use sim::{Duration, Instant};
+
+use crate::band::Band;
+use crate::numerology::Numerology;
+use crate::tdd::{SlotKind, TddConfig};
+
+/// A transmission opportunity returned by the duplexing queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxOpportunity {
+    /// Global index of the slot carrying the transmission.
+    pub slot: u64,
+    /// Instant transmission begins (slot start, or the UL-symbol start
+    /// inside a mixed slot).
+    pub tx_start: Instant,
+    /// Time available for the transmission within the slot.
+    pub tx_duration: Duration,
+}
+
+/// Errors from duplexing configuration validation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DuplexError {
+    /// FDD requested on an unpaired (TDD-only) band — the constraint that
+    /// rules FDD out for private 5G (paper §2, §9).
+    FddUnsupportedOnBand {
+        /// The offending band name.
+        band: &'static str,
+    },
+    /// Numerology not valid in the band's frequency range.
+    NumerologyInvalidForBand,
+}
+
+impl core::fmt::Display for DuplexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DuplexError::FddUnsupportedOnBand { band } => {
+                write!(f, "band {band} is unpaired spectrum; FDD is not available")
+            }
+            DuplexError::NumerologyInvalidForBand => {
+                write!(f, "numerology not valid in this band's frequency range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DuplexError {}
+
+/// The duplexing scheme in use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Duplex {
+    /// Time-division duplexing with a Common Configuration.
+    Tdd(TddConfig),
+    /// Frequency-division duplexing: paired spectrum, every slot carries
+    /// both directions. Transmissions remain slot-aligned (scheduling is
+    /// still per-slot, paper §2).
+    Fdd {
+        /// Numerology of both carriers.
+        numerology: Numerology,
+    },
+}
+
+impl Duplex {
+    /// Builds an FDD configuration on `band`, enforcing the paired-spectrum
+    /// and numerology constraints.
+    pub fn fdd_on_band(band: Band, numerology: Numerology) -> Result<Duplex, DuplexError> {
+        if !band.supports_fdd() {
+            return Err(DuplexError::FddUnsupportedOnBand { band: band.name });
+        }
+        if !numerology.valid_in(band.frequency_range()) {
+            return Err(DuplexError::NumerologyInvalidForBand);
+        }
+        Ok(Duplex::Fdd { numerology })
+    }
+
+    /// Builds a TDD configuration on `band`, enforcing the numerology
+    /// constraint.
+    pub fn tdd_on_band(band: Band, config: TddConfig) -> Result<Duplex, DuplexError> {
+        if !config.numerology().valid_in(band.frequency_range()) {
+            return Err(DuplexError::NumerologyInvalidForBand);
+        }
+        Ok(Duplex::Tdd(config))
+    }
+
+    /// The numerology in use.
+    pub fn numerology(&self) -> Numerology {
+        match self {
+            Duplex::Tdd(c) => c.numerology(),
+            Duplex::Fdd { numerology } => *numerology,
+        }
+    }
+
+    /// Slot duration.
+    pub fn slot_duration(&self) -> Duration {
+        self.numerology().slot_duration()
+    }
+
+    /// The repetition period of the slot pattern (one slot for FDD).
+    pub fn pattern_period(&self) -> Duration {
+        match self {
+            Duplex::Tdd(c) => c.period(),
+            Duplex::Fdd { .. } => self.slot_duration(),
+        }
+    }
+
+    /// Global index of the slot containing `t`.
+    pub fn slot_index_at(&self, t: Instant) -> u64 {
+        t.as_nanos() / self.slot_duration().as_nanos()
+    }
+
+    /// Start instant of global slot `slot`.
+    pub fn slot_start(&self, slot: u64) -> Instant {
+        Instant::from_nanos(slot * self.slot_duration().as_nanos())
+    }
+
+    /// First uplink transmission opportunity for a packet ready at `ready`.
+    pub fn next_ul_opportunity(&self, ready: Instant) -> TxOpportunity {
+        self.next_opportunity(ready, Direction::Uplink)
+    }
+
+    /// First downlink transmission opportunity for a packet ready at
+    /// `ready`.
+    pub fn next_dl_opportunity(&self, ready: Instant) -> TxOpportunity {
+        self.next_opportunity(ready, Direction::Downlink)
+    }
+
+    fn next_opportunity(&self, ready: Instant, dir: Direction) -> TxOpportunity {
+        // Eligibility: first slot whose start is >= ready.
+        let first_eligible = ready.ceil_to(self.slot_duration());
+        let from = self.slot_index_at(first_eligible);
+        match self {
+            Duplex::Fdd { .. } => TxOpportunity {
+                slot: from,
+                tx_start: self.slot_start(from),
+                tx_duration: self.slot_duration(),
+            },
+            Duplex::Tdd(c) => {
+                let pred = match dir {
+                    Direction::Uplink => SlotKind::has_ul,
+                    Direction::Downlink => SlotKind::has_dl,
+                };
+                let slot = c.next_slot_where(from, pred);
+                match dir {
+                    Direction::Uplink => TxOpportunity {
+                        slot,
+                        tx_start: c.ul_start_in_slot(slot).expect("slot has UL"),
+                        tx_duration: c.ul_duration_in_slot(slot),
+                    },
+                    Direction::Downlink => TxOpportunity {
+                        slot,
+                        tx_start: c.dl_start_in_slot(slot).expect("slot has DL"),
+                        tx_duration: c.dl_duration_in_slot(slot),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Worst-case wait from "packet ready" to the start of UL transmission,
+    /// maximised over ready instants within one pattern period.
+    pub fn worst_case_ul_wait(&self) -> Duration {
+        self.worst_case_wait(Direction::Uplink)
+    }
+
+    /// Worst-case wait from "packet ready" to the start of DL transmission.
+    pub fn worst_case_dl_wait(&self) -> Duration {
+        self.worst_case_wait(Direction::Downlink)
+    }
+
+    fn worst_case_wait(&self, dir: Direction) -> Duration {
+        // The wait is piecewise linear in the ready instant and maximal just
+        // after a slot boundary; probing one nanosecond past each boundary
+        // over a full period finds the exact maximum.
+        let slots = self.pattern_period() / self.slot_duration();
+        let mut worst = Duration::ZERO;
+        for s in 0..slots {
+            let ready = self.slot_start(s) + Duration::from_nanos(1);
+            let op = self.next_opportunity(ready, dir);
+            worst = worst.max(op.tx_start - ready);
+        }
+        worst
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Uplink,
+    Downlink,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band::Band;
+    use crate::numerology::SYMBOLS_PER_SLOT;
+
+    #[test]
+    fn fdd_rejected_on_n78() {
+        let err = Duplex::fdd_on_band(Band::n78(), Numerology::Mu1).unwrap_err();
+        assert_eq!(err, DuplexError::FddUnsupportedOnBand { band: "n78" });
+    }
+
+    #[test]
+    fn fdd_allowed_on_paired_band() {
+        let b = Band::by_name("n1").unwrap();
+        let d = Duplex::fdd_on_band(b, Numerology::Mu0).unwrap();
+        assert_eq!(d.numerology(), Numerology::Mu0);
+    }
+
+    #[test]
+    fn numerology_checked_against_band_range() {
+        // µ3 is FR2-only; n78 is FR1.
+        let err = Duplex::tdd_on_band(
+            Band::n78(),
+            TddConfig::dm_minimal(), // µ2, fine
+        );
+        assert!(err.is_ok());
+        let b = Band::by_name("n257").unwrap(); // FR2
+        // µ2 TDD config is valid in FR2 as well (µ2 overlaps both ranges).
+        assert!(Duplex::tdd_on_band(b, TddConfig::dm_minimal()).is_ok());
+        // FDD with µ0 on an FR2 band: band is TDD-only anyway.
+        assert!(Duplex::fdd_on_band(b, Numerology::Mu0).is_err());
+    }
+
+    #[test]
+    fn fdd_next_opportunity_is_next_slot_boundary() {
+        let d = Duplex::Fdd { numerology: Numerology::Mu2 };
+        let op = d.next_ul_opportunity(Instant::from_micros(1));
+        assert_eq!(op.tx_start, Instant::from_micros(250));
+        assert_eq!(op.tx_duration, Duration::from_micros(250));
+        // Exactly at a boundary: that slot qualifies.
+        let op = d.next_dl_opportunity(Instant::from_micros(500));
+        assert_eq!(op.tx_start, Instant::from_micros(500));
+    }
+
+    #[test]
+    fn tdd_dddu_ul_opportunity() {
+        let d = Duplex::Tdd(TddConfig::dddu_testbed());
+        // Ready during slot 0 (DL): UL is slot 3, starting at 1.5 ms.
+        let op = d.next_ul_opportunity(Instant::from_micros(10));
+        assert_eq!(op.slot, 3);
+        assert_eq!(op.tx_start, Instant::from_micros(1_500));
+        // Ready just after slot 3 starts: misses it, waits for slot 7.
+        let op = d.next_ul_opportunity(Instant::from_micros(1_501));
+        assert_eq!(op.slot, 7);
+    }
+
+    #[test]
+    fn tdd_dm_mixed_slot_ul_starts_at_ul_symbols() {
+        let d = Duplex::Tdd(TddConfig::dm_minimal());
+        let op = d.next_ul_opportunity(Instant::from_micros(1));
+        assert_eq!(op.slot, 1);
+        let expected =
+            Instant::from_micros(250) + Numerology::Mu2.symbol_offset(SYMBOLS_PER_SLOT - 6);
+        assert_eq!(op.tx_start, expected);
+        assert_eq!(op.tx_duration, Numerology::Mu2.slot_duration() - Numerology::Mu2.symbol_offset(8));
+    }
+
+    #[test]
+    fn worst_case_waits_match_paper_intuition() {
+        // DM @ µ2: DL worst case is one slot + a bit (arrive just after a DL
+        // slot starts, wait for next DL slot = 0.5 ms away); quantified in
+        // the core crate. Here: sanity bounds.
+        let dm = Duplex::Tdd(TddConfig::dm_minimal());
+        let dl = dm.worst_case_dl_wait();
+        assert!(dl < Duration::from_micros(500));
+        let du = Duplex::Tdd(TddConfig::du_minimal());
+        // DU: UL is slot 1; ready just after slot 1 start waits ~0.5 ms.
+        let ul = du.worst_case_ul_wait();
+        assert!(ul >= Duration::from_micros(499) && ul <= Duration::from_micros(500));
+        // FDD: worst wait is strictly less than one slot.
+        let fdd = Duplex::Fdd { numerology: Numerology::Mu2 };
+        assert!(fdd.worst_case_ul_wait() < Duration::from_micros(250));
+    }
+
+    #[test]
+    fn pattern_period() {
+        assert_eq!(Duplex::Tdd(TddConfig::dddu_testbed()).pattern_period(), Duration::from_millis(2));
+        assert_eq!(
+            Duplex::Fdd { numerology: Numerology::Mu1 }.pattern_period(),
+            Duration::from_micros(500)
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! QAM modulation mapping (TS 38.211 §5.1).
+//!
+//! Gray-mapped BPSK/QPSK/16-QAM/64-QAM/256-QAM constellation mapping and
+//! hard-decision demapping. The radio crate moves *samples*; this module is
+//! what turns coded bits into those samples and back, and its
+//! bits-per-symbol figures feed the transport-block sizing in [`crate::grid`].
+
+use serde::{Deserialize, Serialize};
+
+/// A complex baseband sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Iq {
+    /// In-phase component.
+    pub i: f32,
+    /// Quadrature component.
+    pub q: f32,
+}
+
+impl Iq {
+    /// Creates a sample.
+    pub const fn new(i: f32, q: f32) -> Iq {
+        Iq { i, q }
+    }
+
+    /// Squared Euclidean distance to another sample.
+    pub fn dist2(self, other: Iq) -> f32 {
+        let di = self.i - other.i;
+        let dq = self.q - other.q;
+        di * di + dq * dq
+    }
+
+    /// Power of the sample.
+    pub fn power(self) -> f32 {
+        self.i * self.i + self.q * self.q
+    }
+}
+
+/// NR modulation schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Modulation {
+    /// π/2-less plain BPSK (1 bit/symbol).
+    Bpsk,
+    /// QPSK (2 bits/symbol).
+    Qpsk,
+    /// 16-QAM (4 bits/symbol).
+    Qam16,
+    /// 64-QAM (6 bits/symbol).
+    Qam64,
+    /// 256-QAM (8 bits/symbol).
+    Qam256,
+}
+
+impl Modulation {
+    /// All supported schemes.
+    pub const ALL: [Modulation; 5] = [
+        Modulation::Bpsk,
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+        Modulation::Qam256,
+    ];
+
+    /// Modulation order Qm: bits per symbol.
+    pub const fn bits_per_symbol(self) -> u32 {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+            Modulation::Qam256 => 8,
+        }
+    }
+
+    /// Maps one group of [`Self::bits_per_symbol`] bits (values 0/1,
+    /// b\[0\] first as in the spec) to a constellation point.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != bits_per_symbol()`.
+    pub fn map(self, bits: &[u8]) -> Iq {
+        assert_eq!(bits.len() as u32, self.bits_per_symbol(), "wrong bit-group size");
+        let s = |b: u8| 1.0 - 2.0 * f32::from(b); // 0 -> +1, 1 -> -1
+        match self {
+            Modulation::Bpsk => {
+                let v = s(bits[0]) / core::f32::consts::SQRT_2;
+                Iq::new(v, v)
+            }
+            Modulation::Qpsk => {
+                let k = 1.0 / 2f32.sqrt();
+                Iq::new(k * s(bits[0]), k * s(bits[1]))
+            }
+            Modulation::Qam16 => {
+                let k = 1.0 / 10f32.sqrt();
+                Iq::new(
+                    k * s(bits[0]) * (2.0 - s(bits[2])),
+                    k * s(bits[1]) * (2.0 - s(bits[3])),
+                )
+            }
+            Modulation::Qam64 => {
+                let k = 1.0 / 42f32.sqrt();
+                Iq::new(
+                    k * s(bits[0]) * (4.0 - s(bits[2]) * (2.0 - s(bits[4]))),
+                    k * s(bits[1]) * (4.0 - s(bits[3]) * (2.0 - s(bits[5]))),
+                )
+            }
+            Modulation::Qam256 => {
+                let k = 1.0 / 170f32.sqrt();
+                Iq::new(
+                    k * s(bits[0]) * (8.0 - s(bits[2]) * (4.0 - s(bits[4]) * (2.0 - s(bits[6])))),
+                    k * s(bits[1]) * (8.0 - s(bits[3]) * (4.0 - s(bits[5]) * (2.0 - s(bits[7])))),
+                )
+            }
+        }
+    }
+
+    /// Modulates a bit slice (length must be a multiple of
+    /// `bits_per_symbol`) into samples.
+    pub fn modulate(self, bits: &[u8]) -> Vec<Iq> {
+        let qm = self.bits_per_symbol() as usize;
+        assert_eq!(bits.len() % qm, 0, "bit count not a multiple of Qm");
+        bits.chunks(qm).map(|c| self.map(c)).collect()
+    }
+
+    /// The full constellation as `(bit-group value, point)` pairs; the
+    /// group value has b\[0\] as its MSB.
+    pub fn constellation(self) -> Vec<(u32, Iq)> {
+        let qm = self.bits_per_symbol();
+        (0..(1u32 << qm))
+            .map(|v| {
+                let bits: Vec<u8> =
+                    (0..qm).map(|i| ((v >> (qm - 1 - i)) & 1) as u8).collect();
+                (v, self.map(&bits))
+            })
+            .collect()
+    }
+
+    /// Hard-decision demaps one sample to its bit group (minimum Euclidean
+    /// distance over the constellation).
+    pub fn demap(self, sample: Iq, constellation: &[(u32, Iq)]) -> u32 {
+        constellation
+            .iter()
+            .min_by(|a, b| {
+                sample
+                    .dist2(a.1)
+                    .partial_cmp(&sample.dist2(b.1))
+                    .expect("distances are finite")
+            })
+            .expect("constellation is non-empty")
+            .0
+    }
+
+    /// Demodulates samples back to bits (hard decisions).
+    pub fn demodulate(self, samples: &[Iq]) -> Vec<u8> {
+        let qm = self.bits_per_symbol();
+        let constellation = self.constellation();
+        let mut bits = Vec::with_capacity(samples.len() * qm as usize);
+        for &s in samples {
+            let v = self.demap(s, &constellation);
+            for i in (0..qm).rev() {
+                bits.push(((v >> i) & 1) as u8);
+            }
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_mean_power(m: Modulation) -> f32 {
+        let c = m.constellation();
+        c.iter().map(|(_, p)| p.power()).sum::<f32>() / c.len() as f32
+    }
+
+    #[test]
+    fn constellations_have_unit_mean_power() {
+        for m in Modulation::ALL {
+            let p = unit_mean_power(m);
+            assert!((p - 1.0).abs() < 1e-5, "{m:?} mean power {p}");
+        }
+    }
+
+    #[test]
+    fn constellation_points_are_distinct() {
+        for m in Modulation::ALL {
+            let c = m.constellation();
+            for i in 0..c.len() {
+                for j in (i + 1)..c.len() {
+                    assert!(c[i].1.dist2(c[j].1) > 1e-6, "{m:?}: {i} and {j} collide");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qpsk_known_points() {
+        let k = 1.0 / 2f32.sqrt();
+        assert_eq!(Modulation::Qpsk.map(&[0, 0]), Iq::new(k, k));
+        assert_eq!(Modulation::Qpsk.map(&[1, 1]), Iq::new(-k, -k));
+        assert_eq!(Modulation::Qpsk.map(&[0, 1]), Iq::new(k, -k));
+    }
+
+    #[test]
+    fn qam16_corner_point() {
+        // b = 0,0,0,0: I = (1)(2-1) = 1/√10... per spec (1-2·0)[2-(1-2·0)]
+        // = 1·(2-1) = 1 → 1/√10.
+        let k = 1.0 / 10f32.sqrt();
+        let p = Modulation::Qam16.map(&[0, 0, 0, 0]);
+        assert!((p.i - k).abs() < 1e-6 && (p.q - k).abs() < 1e-6);
+        // b = 0,0,1,1: I = 1·(2+1) = 3/√10 (outer ring).
+        let p = Modulation::Qam16.map(&[0, 0, 1, 1]);
+        assert!((p.i - 3.0 * k).abs() < 1e-6 && (p.q - 3.0 * k).abs() < 1e-6);
+    }
+
+    #[test]
+    fn modulate_demodulate_roundtrip_all_schemes() {
+        for m in Modulation::ALL {
+            let qm = m.bits_per_symbol() as usize;
+            // All possible bit groups, concatenated.
+            let mut bits = Vec::new();
+            for v in 0..(1u32 << qm) {
+                for i in (0..qm).rev() {
+                    bits.push(((v >> i) & 1) as u8);
+                }
+            }
+            let samples = m.modulate(&bits);
+            let back = m.demodulate(&samples);
+            assert_eq!(bits, back, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_survives_small_noise() {
+        // Perturb each QPSK sample by less than half the minimum distance.
+        let bits = vec![0, 1, 1, 0, 1, 1, 0, 0];
+        let mut samples = Modulation::Qpsk.modulate(&bits);
+        for (n, s) in samples.iter_mut().enumerate() {
+            s.i += if n % 2 == 0 { 0.2 } else { -0.2 };
+            s.q += 0.15;
+        }
+        assert_eq!(Modulation::Qpsk.demodulate(&samples), bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong bit-group size")]
+    fn map_rejects_wrong_group() {
+        Modulation::Qam16.map(&[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of Qm")]
+    fn modulate_rejects_ragged_input() {
+        Modulation::Qam64.modulate(&[0, 1, 0]);
+    }
+
+    #[test]
+    fn bits_per_symbol_table() {
+        assert_eq!(Modulation::Bpsk.bits_per_symbol(), 1);
+        assert_eq!(Modulation::Qpsk.bits_per_symbol(), 2);
+        assert_eq!(Modulation::Qam16.bits_per_symbol(), 4);
+        assert_eq!(Modulation::Qam64.bits_per_symbol(), 6);
+        assert_eq!(Modulation::Qam256.bits_per_symbol(), 8);
+    }
+}

@@ -1,0 +1,291 @@
+//! MAC PDU framing (TS 38.321 §6.1): subheader multiplexing, the short BSR
+//! control element, and padding.
+//!
+//! A MAC PDU is a sequence of subPDUs, each `| R | F | LCID(6) | L(8/16) |
+//! payload |`. The MAC layer is also where the paper's scheduling story
+//! lives; the decision logic itself is in [`crate::sched`], the UE-side SR
+//! trigger in [`crate::sr`] — this module is the wire format.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// Logical Channel ID values used here (DL-SCH/UL-SCH tables of TS 38.321).
+pub mod lcid {
+    /// CCCH (SRB0).
+    pub const CCCH: u8 = 0;
+    /// First DRB-capable logical channel.
+    pub const LC_MIN: u8 = 1;
+    /// Last logical channel.
+    pub const LC_MAX: u8 = 32;
+    /// Short BSR control element (UL-SCH).
+    pub const SHORT_BSR: u8 = 61;
+    /// Padding.
+    pub const PADDING: u8 = 63;
+}
+
+/// Errors from MAC PDU processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MacError {
+    /// PDU ended mid-subheader or mid-payload.
+    Truncated,
+    /// A subPDU payload exceeds the 16-bit length field.
+    PayloadTooLarge,
+}
+
+impl core::fmt::Display for MacError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MacError::Truncated => write!(f, "MAC PDU truncated"),
+            MacError::PayloadTooLarge => write!(f, "subPDU payload exceeds 65535 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for MacError {}
+
+/// One subPDU: a logical-channel ID plus its payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacSubPdu {
+    /// Logical channel / control-element ID.
+    pub lcid: u8,
+    /// The payload (an RLC PDU for data LCIDs, CE body for control).
+    pub payload: Bytes,
+}
+
+impl MacSubPdu {
+    /// Creates a subPDU.
+    pub fn new(lcid: u8, payload: Bytes) -> MacSubPdu {
+        assert!(lcid < 64, "LCID is 6 bits");
+        MacSubPdu { lcid, payload }
+    }
+
+    /// Encoded size including the subheader.
+    pub fn encoded_len(&self) -> usize {
+        let l_bytes = if self.payload.len() > 255 { 2 } else { 1 };
+        1 + l_bytes + self.payload.len()
+    }
+}
+
+/// A complete MAC PDU.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacPdu {
+    /// The subPDUs, in order (padding not included — it is synthesised at
+    /// encode time and stripped at decode time).
+    pub subpdus: Vec<MacSubPdu>,
+}
+
+impl MacPdu {
+    /// Creates a PDU from subPDUs.
+    pub fn new(subpdus: Vec<MacSubPdu>) -> MacPdu {
+        MacPdu { subpdus }
+    }
+
+    /// Encodes the PDU, padding to exactly `transport_block_size` bytes if
+    /// given (a MAC PDU must fill its transport block).
+    pub fn encode(&self, transport_block_size: Option<usize>) -> Result<Bytes, MacError> {
+        let mut out = Vec::new();
+        for sub in &self.subpdus {
+            let len = sub.payload.len();
+            if len > u16::MAX as usize {
+                return Err(MacError::PayloadTooLarge);
+            }
+            if len > 255 {
+                out.push(0x40 | (sub.lcid & 0x3F)); // F=1: 16-bit L
+                out.extend_from_slice(&(len as u16).to_be_bytes());
+            } else {
+                out.push(sub.lcid & 0x3F); // F=0: 8-bit L
+                out.push(len as u8);
+            }
+            out.extend_from_slice(&sub.payload);
+        }
+        if let Some(tbs) = transport_block_size {
+            assert!(out.len() <= tbs, "subPDUs exceed transport block size");
+            if out.len() < tbs {
+                // Padding subPDU: one subheader byte, rest zero.
+                out.push(lcid::PADDING);
+                out.resize(tbs, 0);
+            }
+        }
+        Ok(Bytes::from(out))
+    }
+
+    /// Decodes a PDU, stripping padding.
+    pub fn decode(data: &Bytes) -> Result<MacPdu, MacError> {
+        let mut subpdus = Vec::new();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let hdr = data[pos];
+            let lcid_v = hdr & 0x3F;
+            if lcid_v == lcid::PADDING {
+                break; // padding runs to the end of the PDU
+            }
+            let f16 = hdr & 0x40 != 0;
+            pos += 1;
+            let len = if f16 {
+                if pos + 2 > data.len() {
+                    return Err(MacError::Truncated);
+                }
+                let l = u16::from_be_bytes([data[pos], data[pos + 1]]) as usize;
+                pos += 2;
+                l
+            } else {
+                if pos >= data.len() {
+                    return Err(MacError::Truncated);
+                }
+                let l = data[pos] as usize;
+                pos += 1;
+                l
+            };
+            if pos + len > data.len() {
+                return Err(MacError::Truncated);
+            }
+            subpdus.push(MacSubPdu { lcid: lcid_v, payload: data.slice(pos..pos + len) });
+            pos += len;
+        }
+        Ok(MacPdu { subpdus })
+    }
+}
+
+/// The short-BSR buffer-size levels of TS 38.321 Table 6.1.3.1-1
+/// (5-bit index → "buffer ≤ N bytes"; index 31 means "> 150000").
+pub const BSR_LEVELS: [u32; 31] = [
+    0, 10, 14, 20, 28, 38, 53, 74, 102, 142, 198, 276, 384, 535, 745, 1038, 1446, 2014, 2806,
+    3909, 5446, 7587, 10570, 14726, 20516, 28581, 39818, 55474, 77284, 107669, 150000,
+];
+
+/// Encodes a short BSR control element: `| LCG(3) | BufferSize(5) |`.
+pub fn encode_short_bsr(lcg: u8, buffer_bytes: usize) -> Bytes {
+    assert!(lcg < 8, "LCG is 3 bits");
+    let idx = BSR_LEVELS
+        .iter()
+        .position(|&lvl| buffer_bytes as u32 <= lvl)
+        .unwrap_or(31) as u8;
+    Bytes::from(vec![(lcg << 5) | idx])
+}
+
+/// Decodes a short BSR: returns `(lcg, upper bound on buffered bytes)` —
+/// `None` for the ">150000" top index.
+pub fn decode_short_bsr(ce: &Bytes) -> Result<(u8, Option<u32>), MacError> {
+    if ce.len() != 1 {
+        return Err(MacError::Truncated);
+    }
+    let lcg = ce[0] >> 5;
+    let idx = (ce[0] & 0x1F) as usize;
+    Ok((lcg, BSR_LEVELS.get(idx).copied()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_subpdu_roundtrip() {
+        let pdu = MacPdu::new(vec![MacSubPdu::new(4, Bytes::from_static(b"rlc pdu"))]);
+        let enc = pdu.encode(None).unwrap();
+        assert_eq!(MacPdu::decode(&enc).unwrap(), pdu);
+    }
+
+    #[test]
+    fn multiplexes_several_channels() {
+        let pdu = MacPdu::new(vec![
+            MacSubPdu::new(lcid::SHORT_BSR, encode_short_bsr(0, 100)),
+            MacSubPdu::new(1, Bytes::from_static(b"bearer one")),
+            MacSubPdu::new(2, Bytes::from_static(b"bearer two")),
+        ]);
+        let enc = pdu.encode(None).unwrap();
+        let dec = MacPdu::decode(&enc).unwrap();
+        assert_eq!(dec.subpdus.len(), 3);
+        assert_eq!(dec, pdu);
+    }
+
+    #[test]
+    fn padding_fills_transport_block() {
+        let pdu = MacPdu::new(vec![MacSubPdu::new(1, Bytes::from_static(b"x"))]);
+        let enc = pdu.encode(Some(100)).unwrap();
+        assert_eq!(enc.len(), 100);
+        let dec = MacPdu::decode(&enc).unwrap();
+        assert_eq!(dec.subpdus.len(), 1);
+        assert_eq!(dec.subpdus[0].payload, Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn exact_fit_needs_no_padding() {
+        let pdu = MacPdu::new(vec![MacSubPdu::new(1, Bytes::from_static(b"abc"))]);
+        let enc = pdu.encode(Some(5)).unwrap(); // 2 hdr + 3 payload
+        assert_eq!(enc.len(), 5);
+        assert_eq!(MacPdu::decode(&enc).unwrap(), pdu);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed transport block")]
+    fn oversized_for_tb_panics() {
+        let pdu = MacPdu::new(vec![MacSubPdu::new(1, Bytes::from(vec![0u8; 50]))]);
+        let _ = pdu.encode(Some(10));
+    }
+
+    #[test]
+    fn long_payload_uses_16bit_length() {
+        let payload = Bytes::from(vec![0xEE; 1000]);
+        let pdu = MacPdu::new(vec![MacSubPdu::new(3, payload.clone())]);
+        let enc = pdu.encode(None).unwrap();
+        assert_eq!(enc.len(), 3 + 1000); // 1 hdr + 2 len + payload
+        assert_eq!(enc[0] & 0x40, 0x40);
+        let dec = MacPdu::decode(&enc).unwrap();
+        assert_eq!(dec.subpdus[0].payload, payload);
+    }
+
+    #[test]
+    fn truncated_pdus_rejected() {
+        // Subheader promising more payload than present.
+        let bad = Bytes::from(vec![0x01, 0x10, 0xAA]);
+        assert_eq!(MacPdu::decode(&bad).unwrap_err(), MacError::Truncated);
+        // 16-bit length field cut short.
+        let bad = Bytes::from(vec![0x41, 0x00]);
+        assert_eq!(MacPdu::decode(&bad).unwrap_err(), MacError::Truncated);
+        // Header with no length byte.
+        let bad = Bytes::from(vec![0x01]);
+        assert_eq!(MacPdu::decode(&bad).unwrap_err(), MacError::Truncated);
+    }
+
+    #[test]
+    fn empty_pdu_decodes_empty() {
+        assert_eq!(MacPdu::decode(&Bytes::new()).unwrap().subpdus.len(), 0);
+    }
+
+    #[test]
+    fn bsr_levels_are_monotone() {
+        for w in BSR_LEVELS.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn bsr_roundtrip_bounds() {
+        for &bytes in &[0usize, 5, 10, 11, 100, 5000, 149_999, 150_000] {
+            let ce = encode_short_bsr(2, bytes);
+            let (lcg, bound) = decode_short_bsr(&ce).unwrap();
+            assert_eq!(lcg, 2);
+            let bound = bound.expect("within table");
+            assert!(bound as usize >= bytes, "{bytes} -> bound {bound}");
+        }
+        // Above the table: top index, unbounded.
+        let ce = encode_short_bsr(0, 200_000);
+        assert_eq!(decode_short_bsr(&ce).unwrap(), (0, None));
+    }
+
+    #[test]
+    fn bsr_picks_tightest_level() {
+        let ce = encode_short_bsr(0, 15);
+        let (_, bound) = decode_short_bsr(&ce).unwrap();
+        assert_eq!(bound, Some(20)); // 14 < 15 <= 20
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        for len in [0usize, 1, 255, 256, 1000] {
+            let sub = MacSubPdu::new(7, Bytes::from(vec![1u8; len]));
+            let pdu = MacPdu::new(vec![sub.clone()]);
+            assert_eq!(pdu.encode(None).unwrap().len(), sub.encoded_len());
+        }
+    }
+}

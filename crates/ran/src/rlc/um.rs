@@ -1,0 +1,361 @@
+//! RLC Unacknowledged Mode (TS 38.322 §5.2.2, 6-bit SN).
+//!
+//! UM segments SDUs to fit MAC grants and reassembles them at the far end.
+//! No retransmission: a lost segment costs the whole SDU (after the
+//! reassembly timer), which is exactly the latency/reliability trade URLLC
+//! traffic signs up for.
+//!
+//! Wire formats (6-bit SN):
+//!
+//! ```text
+//! full SDU:        | SI=00 | R(6) |  payload...
+//! first segment:   | SI=01 | SN(6) |  payload...
+//! middle segment:  | SI=11 | SN(6) | SO(16) |  payload...
+//! last segment:    | SI=10 | SN(6) | SO(16) |  payload...
+//! ```
+
+use bytes::Bytes;
+use std::collections::{BTreeMap, VecDeque};
+
+use super::{RlcError, SegmentInfo};
+
+/// UM sequence-number modulus (6-bit).
+pub const UM_SN_MODULUS: u8 = 64;
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    sn: u8,
+    sdu: Bytes,
+    offset: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Reassembly {
+    /// Received segments keyed by offset.
+    segments: BTreeMap<usize, Bytes>,
+    /// Total SDU length, known once the last segment arrives.
+    total: Option<usize>,
+}
+
+impl Reassembly {
+    fn try_complete(&self) -> Option<Bytes> {
+        let total = self.total?;
+        let mut next = 0usize;
+        for (&off, seg) in &self.segments {
+            if off > next {
+                return None; // gap
+            }
+            next = next.max(off + seg.len());
+        }
+        if next < total {
+            return None;
+        }
+        // Contiguous cover of [0, total): stitch (overlaps are tolerated,
+        // later bytes win — duplicates from MAC retx are byte-identical).
+        let mut out = vec![0u8; total];
+        for (&off, seg) in &self.segments {
+            let end = (off + seg.len()).min(total);
+            out[off..end].copy_from_slice(&seg[..end - off]);
+        }
+        Some(Bytes::from(out))
+    }
+}
+
+/// An RLC UM entity (transmit + receive sides).
+#[derive(Debug, Clone, Default)]
+pub struct RlcUmEntity {
+    queue: VecDeque<Bytes>,
+    in_flight: Option<InFlight>,
+    tx_next: u8,
+    rx: BTreeMap<u8, Reassembly>,
+    delivered: u64,
+    dropped_incomplete: u64,
+}
+
+impl RlcUmEntity {
+    /// Creates an empty entity.
+    pub fn new() -> RlcUmEntity {
+        RlcUmEntity::default()
+    }
+
+    /// Queues an SDU for transmission (the "RLC queue" of Table 2 — data
+    /// sits here until the MAC scheduler grants resources).
+    pub fn tx_sdu(&mut self, sdu: Bytes) {
+        self.queue.push_back(sdu);
+    }
+
+    /// Bytes waiting to be transmitted (payload only), as reported in a
+    /// buffer status report.
+    pub fn queued_bytes(&self) -> usize {
+        let inflight = self.in_flight.as_ref().map(|f| f.sdu.len() - f.offset).unwrap_or(0);
+        inflight + self.queue.iter().map(Bytes::len).sum::<usize>()
+    }
+
+    /// Number of SDUs not yet fully handed to MAC.
+    pub fn queued_sdus(&self) -> usize {
+        self.queue.len() + usize::from(self.in_flight.is_some())
+    }
+
+    /// SDUs delivered to the upper layer by the receive side.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Builds the next UMD PDU under a MAC grant of `grant` bytes.
+    ///
+    /// Returns `Ok(None)` when nothing is queued. Errors when data is
+    /// queued but the grant cannot carry a single payload byte.
+    pub fn pull_pdu(&mut self, grant: usize) -> Result<Option<Bytes>, RlcError> {
+        // Continue an in-flight segmented SDU first.
+        if let Some(flight) = self.in_flight.take() {
+            const HDR: usize = 3; // SI|SN + SO(16)
+            if grant < HDR + 1 {
+                self.in_flight = Some(flight);
+                return Err(RlcError::GrantTooSmall { grant, needed: HDR + 1 });
+            }
+            let remaining = flight.sdu.len() - flight.offset;
+            let take = remaining.min(grant - HDR);
+            let si = if take == remaining { SegmentInfo::Last } else { SegmentInfo::Middle };
+            let mut pdu = Vec::with_capacity(HDR + take);
+            pdu.push((si.to_bits() << 6) | (flight.sn & 0x3F));
+            pdu.extend_from_slice(&(flight.offset as u16).to_be_bytes());
+            pdu.extend_from_slice(&flight.sdu[flight.offset..flight.offset + take]);
+            if take < remaining {
+                self.in_flight =
+                    Some(InFlight { sn: flight.sn, sdu: flight.sdu, offset: flight.offset + take });
+            }
+            return Ok(Some(Bytes::from(pdu)));
+        }
+
+        let Some(sdu) = self.queue.pop_front() else {
+            return Ok(None);
+        };
+        if grant > sdu.len() {
+            // Whole SDU fits: SI=00 header without SN.
+            let mut pdu = Vec::with_capacity(1 + sdu.len());
+            pdu.push(SegmentInfo::Full.to_bits() << 6);
+            pdu.extend_from_slice(&sdu);
+            return Ok(Some(Bytes::from(pdu)));
+        }
+        // Must segment: first segment header is SI|SN (1 byte).
+        const HDR: usize = 1;
+        if grant < HDR + 1 {
+            self.queue.push_front(sdu);
+            return Err(RlcError::GrantTooSmall { grant, needed: HDR + 1 });
+        }
+        let sn = self.tx_next;
+        self.tx_next = (self.tx_next + 1) % UM_SN_MODULUS;
+        let take = grant - HDR;
+        let mut pdu = Vec::with_capacity(grant);
+        pdu.push((SegmentInfo::First.to_bits() << 6) | (sn & 0x3F));
+        pdu.extend_from_slice(&sdu[..take]);
+        self.in_flight = Some(InFlight { sn, sdu, offset: take });
+        Ok(Some(Bytes::from(pdu)))
+    }
+
+    /// Processes a received UMD PDU; returns any SDUs completed by it.
+    pub fn rx_pdu(&mut self, pdu: &Bytes) -> Result<Vec<Bytes>, RlcError> {
+        if pdu.is_empty() {
+            return Err(RlcError::Truncated);
+        }
+        let si = SegmentInfo::from_bits(pdu[0] >> 6);
+        match si {
+            SegmentInfo::Full => {
+                self.delivered += 1;
+                Ok(vec![pdu.slice(1..)])
+            }
+            SegmentInfo::First => {
+                let sn = pdu[0] & 0x3F;
+                let entry = self.rx.entry(sn).or_default();
+                entry.segments.insert(0, pdu.slice(1..));
+                self.try_deliver(sn)
+            }
+            SegmentInfo::Middle | SegmentInfo::Last => {
+                if pdu.len() < 3 {
+                    return Err(RlcError::Truncated);
+                }
+                let sn = pdu[0] & 0x3F;
+                let so = u16::from_be_bytes([pdu[1], pdu[2]]) as usize;
+                let body = pdu.slice(3..);
+                let entry = self.rx.entry(sn).or_default();
+                if si == SegmentInfo::Last {
+                    entry.total = Some(so + body.len());
+                }
+                entry.segments.insert(so, body);
+                self.try_deliver(sn)
+            }
+        }
+    }
+
+    fn try_deliver(&mut self, sn: u8) -> Result<Vec<Bytes>, RlcError> {
+        if let Some(done) = self.rx.get(&sn).and_then(Reassembly::try_complete) {
+            self.rx.remove(&sn);
+            self.delivered += 1;
+            Ok(vec![done])
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    /// t-Reassembly expiry: drop all incomplete SDUs (UM never recovers
+    /// them — the latency-for-reliability trade).
+    pub fn flush_reassembly(&mut self) -> u64 {
+        let dropped = self.rx.len() as u64;
+        self.dropped_incomplete += dropped;
+        self.rx.clear();
+        dropped
+    }
+
+    /// SDUs abandoned by reassembly timeouts.
+    pub fn dropped_incomplete(&self) -> u64 {
+        self.dropped_incomplete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sdu_single_pdu() {
+        let mut tx = RlcUmEntity::new();
+        let mut rx = RlcUmEntity::new();
+        let sdu = Bytes::from_static(b"fits in one grant");
+        tx.tx_sdu(sdu.clone());
+        let pdu = tx.pull_pdu(100).unwrap().unwrap();
+        assert_eq!(pdu.len(), sdu.len() + 1);
+        assert_eq!(rx.rx_pdu(&pdu).unwrap(), vec![sdu]);
+        assert!(tx.pull_pdu(100).unwrap().is_none());
+    }
+
+    #[test]
+    fn segmentation_and_reassembly() {
+        let mut tx = RlcUmEntity::new();
+        let mut rx = RlcUmEntity::new();
+        let sdu = Bytes::from((0..=255u8).collect::<Vec<_>>());
+        tx.tx_sdu(sdu.clone());
+        let mut delivered = Vec::new();
+        let mut pdus = 0;
+        while let Some(pdu) = tx.pull_pdu(50).unwrap() {
+            pdus += 1;
+            delivered.extend(rx.rx_pdu(&pdu).unwrap());
+        }
+        assert!(pdus >= 6, "expected several segments, got {pdus}");
+        assert_eq!(delivered, vec![sdu]);
+        assert_eq!(tx.queued_bytes(), 0);
+    }
+
+    #[test]
+    fn out_of_order_segments_reassemble() {
+        let mut tx = RlcUmEntity::new();
+        let mut rx = RlcUmEntity::new();
+        let sdu = Bytes::from(vec![7u8; 120]);
+        tx.tx_sdu(sdu.clone());
+        let mut pdus = Vec::new();
+        while let Some(p) = tx.pull_pdu(50).unwrap() {
+            pdus.push(p);
+        }
+        pdus.reverse();
+        let mut delivered = Vec::new();
+        for p in &pdus {
+            delivered.extend(rx.rx_pdu(p).unwrap());
+        }
+        assert_eq!(delivered, vec![sdu]);
+    }
+
+    #[test]
+    fn missing_segment_blocks_until_flush() {
+        let mut tx = RlcUmEntity::new();
+        let mut rx = RlcUmEntity::new();
+        tx.tx_sdu(Bytes::from(vec![1u8; 150]));
+        let mut pdus = Vec::new();
+        while let Some(p) = tx.pull_pdu(60).unwrap() {
+            pdus.push(p);
+        }
+        assert!(pdus.len() >= 3);
+        pdus.remove(1); // lose a middle segment
+        for p in &pdus {
+            assert!(rx.rx_pdu(p).unwrap().is_empty());
+        }
+        assert_eq!(rx.delivered(), 0);
+        assert_eq!(rx.flush_reassembly(), 1);
+        assert_eq!(rx.dropped_incomplete(), 1);
+    }
+
+    #[test]
+    fn interleaved_sdus_use_distinct_sns() {
+        let mut tx = RlcUmEntity::new();
+        let mut rx = RlcUmEntity::new();
+        let a = Bytes::from(vec![0xAA; 80]);
+        let b = Bytes::from(vec![0xBB; 80]);
+        tx.tx_sdu(a.clone());
+        tx.tx_sdu(b.clone());
+        let mut all = Vec::new();
+        while let Some(p) = tx.pull_pdu(45).unwrap() {
+            all.push(p);
+        }
+        // Interleave the two SDUs' segments.
+        all.swap(1, 2);
+        let mut delivered = Vec::new();
+        for p in &all {
+            delivered.extend(rx.rx_pdu(p).unwrap());
+        }
+        assert_eq!(delivered.len(), 2);
+        assert!(delivered.contains(&a) && delivered.contains(&b));
+    }
+
+    #[test]
+    fn queued_bytes_tracks_progress() {
+        let mut tx = RlcUmEntity::new();
+        tx.tx_sdu(Bytes::from(vec![0u8; 100]));
+        assert_eq!(tx.queued_bytes(), 100);
+        assert_eq!(tx.queued_sdus(), 1);
+        let _ = tx.pull_pdu(51).unwrap().unwrap(); // 50 payload bytes out
+        assert_eq!(tx.queued_bytes(), 50);
+        assert_eq!(tx.queued_sdus(), 1); // still in flight
+        let _ = tx.pull_pdu(100).unwrap().unwrap();
+        assert_eq!(tx.queued_bytes(), 0);
+        assert_eq!(tx.queued_sdus(), 0);
+    }
+
+    #[test]
+    fn tiny_grant_is_rejected_not_lost() {
+        let mut tx = RlcUmEntity::new();
+        tx.tx_sdu(Bytes::from(vec![5u8; 10]));
+        let err = tx.pull_pdu(1).unwrap_err();
+        assert_eq!(err, RlcError::GrantTooSmall { grant: 1, needed: 2 });
+        // The SDU is still queued and retrievable.
+        assert_eq!(tx.queued_bytes(), 10);
+        assert!(tx.pull_pdu(20).unwrap().is_some());
+    }
+
+    #[test]
+    fn empty_grant_on_empty_queue_is_none() {
+        let mut tx = RlcUmEntity::new();
+        assert!(tx.pull_pdu(0).unwrap().is_none());
+    }
+
+    #[test]
+    fn rx_rejects_truncated() {
+        let mut rx = RlcUmEntity::new();
+        assert_eq!(rx.rx_pdu(&Bytes::new()).unwrap_err(), RlcError::Truncated);
+        // Middle-segment header claims SO but PDU is 2 bytes.
+        let bad = Bytes::from(vec![0b11_000001, 0x00]);
+        assert_eq!(rx.rx_pdu(&bad).unwrap_err(), RlcError::Truncated);
+    }
+
+    #[test]
+    fn sn_wraps_after_64_segmented_sdus() {
+        let mut tx = RlcUmEntity::new();
+        let mut rx = RlcUmEntity::new();
+        for i in 0..70u32 {
+            let sdu = Bytes::from(i.to_be_bytes().repeat(10)); // 40 B
+            tx.tx_sdu(sdu.clone());
+            let mut delivered = Vec::new();
+            while let Some(p) = tx.pull_pdu(30).unwrap() {
+                delivered.extend(rx.rx_pdu(&p).unwrap());
+            }
+            assert_eq!(delivered, vec![sdu], "sdu {i}");
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! The gNB MAC scheduler.
+//!
+//! Scheduling in NR happens **once per slot** (paper §2: control information
+//! "can only be sent once per slot. Consequently, in practice, the
+//! scheduling task is done just once per slot"). [`Scheduler::run_slot`] is
+//! that per-slot task: it fires at a slot boundary and serves every request
+//! that became ready *before* the boundary — a request arriving an instant
+//! after a boundary waits a full slot for the next one, which is the origin
+//! of the paper's worst cases (§5) and of the 484 µs RLC-queue row of
+//! Table 2.
+//!
+//! The scheduler also honours the §4 interdependency: a decision may only
+//! target transmissions at least [`SchedulerConfig::lead`] in the future,
+//! covering PHY encode time plus radio submission (the testbed's "the
+//! transmission must always be delayed for one slot to give enough time to
+//! the RH", §7).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+use phy::duplex::{Duplex, TxOpportunity};
+use sim::{Duration, Instant};
+
+/// Radio Network Temporary Identifier: addresses one UE.
+pub type Rnti = u16;
+
+/// How the uplink is accessed (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessMode {
+    /// SR → grant → data: scales to many UEs, pays the handshake latency.
+    GrantBased,
+    /// Configured grants: resources pre-allocated per UE, no handshake —
+    /// lower latency, limited scalability (§5: "cannot scale to many UEs").
+    GrantFree,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// The duplexing scheme (slot pattern).
+    pub duplex: Duplex,
+    /// Uplink access mode.
+    pub access: AccessMode,
+    /// Minimum lead between a decision instant and any *data* transmission
+    /// it schedules (TB build + PHY preparation + radio submission margin,
+    /// §4).
+    pub lead: Duration,
+    /// Minimum lead for *control* (DCI) transmissions. Control rides the
+    /// per-slot control region the gNB generates anyway, so it needs far
+    /// less preparation than a data TB — typically one slot or less.
+    pub control_lead: Duration,
+    /// Time a UE needs between receiving a grant and transmitting on it
+    /// (the k2-style offset).
+    pub ue_grant_processing: Duration,
+    /// Downlink bytes one slot can carry.
+    pub dl_slot_capacity: usize,
+    /// Uplink bytes one slot can carry.
+    pub ul_slot_capacity: usize,
+    /// Bytes granted per served SR.
+    pub grant_bytes: usize,
+}
+
+impl SchedulerConfig {
+    /// A configuration with ideal (zero) processing margins — used to study
+    /// pure protocol latency.
+    pub fn ideal(duplex: Duplex, access: AccessMode) -> SchedulerConfig {
+        SchedulerConfig {
+            duplex,
+            access,
+            lead: Duration::ZERO,
+            control_lead: Duration::ZERO,
+            ue_grant_processing: Duration::ZERO,
+            dl_slot_capacity: 8192,
+            ul_slot_capacity: 8192,
+            grant_bytes: 256,
+        }
+    }
+
+    /// The paper's testbed margins: one slot of lead for the ~500 µs USB
+    /// radio (§7), ~300 µs of UE grant processing.
+    pub fn testbed(duplex: Duplex, access: AccessMode) -> SchedulerConfig {
+        let slot = duplex.slot_duration();
+        SchedulerConfig {
+            duplex,
+            access,
+            lead: slot,
+            control_lead: slot,
+            ue_grant_processing: Duration::from_micros(300),
+            dl_slot_capacity: 8192,
+            ul_slot_capacity: 8192,
+            grant_bytes: 256,
+        }
+    }
+}
+
+/// An uplink grant issued in response to an SR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UlGrant {
+    /// The UE being granted.
+    pub rnti: Rnti,
+    /// When the grant DCI leaves the gNB antenna (start of a DL-capable
+    /// slot).
+    pub grant_tx: Instant,
+    /// The granted uplink transmission opportunity.
+    pub ul: TxOpportunity,
+    /// Granted bytes.
+    pub bytes: usize,
+}
+
+/// A downlink assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DlAssignment {
+    /// The destination UE.
+    pub rnti: Rnti,
+    /// The downlink transmission opportunity.
+    pub dl: TxOpportunity,
+    /// Bytes assigned.
+    pub bytes: usize,
+}
+
+/// The output of one scheduling round.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SlotDecision {
+    /// Uplink grants issued this round.
+    pub ul_grants: Vec<UlGrant>,
+    /// Downlink assignments issued this round.
+    pub dl_assignments: Vec<DlAssignment>,
+}
+
+#[derive(Debug, Clone)]
+struct DlRequest {
+    rnti: Rnti,
+    bytes: usize,
+    ready: Instant,
+}
+
+/// The per-slot gNB scheduler.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    config: SchedulerConfig,
+    pending_srs: VecDeque<(Rnti, Instant)>,
+    pending_dl: VecDeque<DlRequest>,
+    dl_used: BTreeMap<u64, usize>,
+    ul_used: BTreeMap<u64, usize>,
+    /// Statistics: total scheduling rounds run.
+    rounds: u64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler.
+    pub fn new(config: SchedulerConfig) -> Scheduler {
+        Scheduler {
+            config,
+            pending_srs: VecDeque::new(),
+            pending_dl: VecDeque::new(),
+            dl_used: BTreeMap::new(),
+            ul_used: BTreeMap::new(),
+            rounds: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Registers a decoded SR: `ready` is the instant the gNB finished
+    /// decoding it (SR air time + PHY/MAC processing).
+    ///
+    /// Ignored in grant-free mode — there is nothing to grant.
+    pub fn on_sr(&mut self, rnti: Rnti, ready: Instant) {
+        if self.config.access == AccessMode::GrantBased {
+            self.pending_srs.push_back((rnti, ready));
+        }
+    }
+
+    /// Registers downlink data that reached the RLC queue at `ready`.
+    pub fn on_dl_data(&mut self, rnti: Rnti, bytes: usize, ready: Instant) {
+        self.pending_dl.push_back(DlRequest { rnti, bytes, ready });
+    }
+
+    /// Pending requests (diagnostics).
+    pub fn backlog(&self) -> (usize, usize) {
+        (self.pending_srs.len(), self.pending_dl.len())
+    }
+
+    /// Runs the scheduling round at the start of global slot `slot`.
+    /// Serves every request that became ready strictly before the boundary.
+    pub fn run_slot(&mut self, slot: u64) -> SlotDecision {
+        self.rounds += 1;
+        let now = self.config.duplex.slot_start(slot);
+        let horizon = now + self.config.lead;
+        let mut decision = SlotDecision::default();
+
+        // Downlink assignments.
+        let mut deferred = VecDeque::new();
+        while let Some(req) = self.pending_dl.pop_front() {
+            if req.ready >= now {
+                deferred.push_back(req);
+                continue;
+            }
+            let dl = self.reserve_dl(horizon, req.bytes);
+            decision.dl_assignments.push(DlAssignment { rnti: req.rnti, dl, bytes: req.bytes });
+        }
+        self.pending_dl = deferred;
+
+        // Uplink grants.
+        let mut deferred = VecDeque::new();
+        while let Some((rnti, ready)) = self.pending_srs.pop_front() {
+            if ready >= now {
+                deferred.push_back((rnti, ready));
+                continue;
+            }
+            // The grant DCI rides the control region of a DL-capable slot
+            // (shorter pipeline than a data TB).
+            let grant_op =
+                self.config.duplex.next_dl_opportunity(now + self.config.control_lead);
+            let grant_tx = grant_op.tx_start;
+            // The UE can transmit after decoding the grant and preparing.
+            let ue_ready = grant_tx + self.config.ue_grant_processing;
+            let ul = self.reserve_ul(ue_ready, self.config.grant_bytes);
+            decision.ul_grants.push(UlGrant {
+                rnti,
+                grant_tx,
+                ul,
+                bytes: self.config.grant_bytes,
+            });
+        }
+        self.pending_srs = deferred;
+
+        // Drop capacity bookkeeping for slots already in the past.
+        let current = slot;
+        self.dl_used.retain(|&s, _| s >= current);
+        self.ul_used.retain(|&s, _| s >= current);
+        decision
+    }
+
+    fn reserve_dl(&mut self, from: Instant, bytes: usize) -> TxOpportunity {
+        assert!(
+            bytes <= self.config.dl_slot_capacity,
+            "a {bytes}-byte assignment can never fit a {}-byte DL slot",
+            self.config.dl_slot_capacity
+        );
+        let mut probe = from;
+        loop {
+            let op = self.config.duplex.next_dl_opportunity(probe);
+            let used = self.dl_used.entry(op.slot).or_insert(0);
+            if *used + bytes <= self.config.dl_slot_capacity {
+                *used += bytes;
+                return op;
+            }
+            probe = self.config.duplex.slot_start(op.slot + 1);
+        }
+    }
+
+    fn reserve_ul(&mut self, from: Instant, bytes: usize) -> TxOpportunity {
+        assert!(
+            bytes <= self.config.ul_slot_capacity,
+            "a {bytes}-byte grant can never fit a {}-byte UL slot",
+            self.config.ul_slot_capacity
+        );
+        let mut probe = from;
+        loop {
+            let op = self.config.duplex.next_ul_opportunity(probe);
+            let used = self.ul_used.entry(op.slot).or_insert(0);
+            if *used + bytes <= self.config.ul_slot_capacity {
+                *used += bytes;
+                return op;
+            }
+            probe = self.config.duplex.slot_start(op.slot + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phy::tdd::TddConfig;
+
+    fn dddu_ideal(access: AccessMode) -> Scheduler {
+        Scheduler::new(SchedulerConfig::ideal(Duplex::Tdd(TddConfig::dddu_testbed()), access))
+    }
+
+    #[test]
+    fn dl_data_waits_for_next_scheduling_round() {
+        let mut s = dddu_ideal(AccessMode::GrantFree);
+        // Data ready 10 µs into slot 0; the round at slot 0 already ran, so
+        // slot 1's round serves it.
+        s.on_dl_data(1, 100, Instant::from_micros(10));
+        let d0 = s.run_slot(0);
+        assert!(d0.dl_assignments.is_empty()); // ready >= boundary 0? no: 10µs > 0 -> not served at slot 0
+        let d1 = s.run_slot(1);
+        assert_eq!(d1.dl_assignments.len(), 1);
+        // Slot 1 is DL in DDDU; assignment lands there (lead = 0).
+        assert_eq!(d1.dl_assignments[0].dl.slot, 1);
+        assert_eq!(d1.dl_assignments[0].dl.tx_start, Instant::from_micros(500));
+    }
+
+    #[test]
+    fn dl_data_ready_exactly_at_boundary_waits() {
+        let mut s = dddu_ideal(AccessMode::GrantFree);
+        s.on_dl_data(1, 100, Instant::from_micros(500));
+        // ready == boundary of slot 1 -> not strictly before it.
+        assert!(s.run_slot(1).dl_assignments.is_empty());
+        assert_eq!(s.run_slot(2).dl_assignments.len(), 1);
+    }
+
+    #[test]
+    fn dl_skips_ul_slot() {
+        let mut s = dddu_ideal(AccessMode::GrantFree);
+        // Ready during slot 2; served at slot 3's round — but slot 3 is UL
+        // in DDDU, so the assignment goes to slot 4.
+        s.on_dl_data(1, 100, Instant::from_micros(1_200));
+        let d = s.run_slot(3);
+        assert_eq!(d.dl_assignments.len(), 1);
+        assert_eq!(d.dl_assignments[0].dl.slot, 4);
+    }
+
+    #[test]
+    fn dl_capacity_pushes_overflow_to_next_dl_slot() {
+        let mut s = dddu_ideal(AccessMode::GrantFree);
+        // Capacity 8192; three 3000-byte packets: two fit slot 1, third
+        // moves to slot 2.
+        for _ in 0..3 {
+            s.on_dl_data(1, 3_000, Instant::from_micros(10));
+        }
+        let d = s.run_slot(1);
+        let slots: Vec<u64> = d.dl_assignments.iter().map(|a| a.dl.slot).collect();
+        assert_eq!(slots, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn sr_produces_grant_with_dci_on_dl_slot() {
+        let mut s = dddu_ideal(AccessMode::GrantBased);
+        // SR decoded 10 µs into slot 3 (the UL slot of DDDU).
+        s.on_sr(7, Instant::from_micros(1_510));
+        let d = s.run_slot(4);
+        assert_eq!(d.ul_grants.len(), 1);
+        let g = &d.ul_grants[0];
+        assert_eq!(g.rnti, 7);
+        // Slot 4 is DL: the DCI goes out right there.
+        assert_eq!(g.grant_tx, Instant::from_micros(2_000));
+        // Next UL opportunity is slot 7.
+        assert_eq!(g.ul.slot, 7);
+        assert_eq!(g.ul.tx_start, Instant::from_micros(3_500));
+    }
+
+    #[test]
+    fn grant_free_ignores_srs() {
+        let mut s = dddu_ideal(AccessMode::GrantFree);
+        s.on_sr(7, Instant::from_micros(10));
+        let d = s.run_slot(1);
+        assert!(d.ul_grants.is_empty());
+        assert_eq!(s.backlog(), (0, 0));
+    }
+
+    #[test]
+    fn lead_delays_transmissions() {
+        let duplex = Duplex::Tdd(TddConfig::dddu_testbed());
+        let cfg = SchedulerConfig {
+            lead: Duration::from_micros(500), // one slot
+            ..SchedulerConfig::ideal(duplex, AccessMode::GrantFree)
+        };
+        let mut s = Scheduler::new(cfg);
+        s.on_dl_data(1, 100, Instant::from_micros(10));
+        let d = s.run_slot(1);
+        // Decision at slot 1 (0.5 ms) + 0.5 ms lead -> earliest slot 2.
+        assert_eq!(d.dl_assignments[0].dl.slot, 2);
+    }
+
+    #[test]
+    fn ue_grant_processing_delays_ul_choice() {
+        let duplex = Duplex::Tdd(TddConfig::dddu_testbed());
+        let cfg = SchedulerConfig {
+            // Enough that the UE misses slot 3 after a grant in slot 1.
+            ue_grant_processing: Duration::from_millis(2),
+            ..SchedulerConfig::ideal(duplex, AccessMode::GrantBased)
+        };
+        let mut s = Scheduler::new(cfg);
+        s.on_sr(3, Instant::from_micros(100));
+        let d = s.run_slot(1);
+        let g = &d.ul_grants[0];
+        assert_eq!(g.grant_tx, Instant::from_micros(500)); // slot 1, DL
+        // UE ready at 2.5 ms -> slot 7 (3.5 ms) is the first UL start >= that.
+        assert_eq!(g.ul.slot, 7);
+    }
+
+    #[test]
+    fn multiple_srs_share_then_spill_ul_capacity() {
+        let duplex = Duplex::Tdd(TddConfig::dddu_testbed());
+        let cfg = SchedulerConfig {
+            ul_slot_capacity: 512,
+            grant_bytes: 256,
+            ..SchedulerConfig::ideal(duplex, AccessMode::GrantBased)
+        };
+        let mut s = Scheduler::new(cfg);
+        for rnti in 0..3 {
+            s.on_sr(rnti, Instant::from_micros(10));
+        }
+        let d = s.run_slot(1);
+        let slots: Vec<u64> = d.ul_grants.iter().map(|g| g.ul.slot).collect();
+        // Two grants fit the first UL slot (slot 3), the third spills to 7.
+        assert_eq!(slots, vec![3, 3, 7]);
+    }
+
+    #[test]
+    fn fdd_serves_next_slot() {
+        let duplex = Duplex::Fdd { numerology: phy::Numerology::Mu2 };
+        let mut s = Scheduler::new(SchedulerConfig::ideal(duplex, AccessMode::GrantBased));
+        s.on_dl_data(1, 64, Instant::from_micros(10));
+        s.on_sr(1, Instant::from_micros(10));
+        let d = s.run_slot(1);
+        assert_eq!(d.dl_assignments[0].dl.slot, 1);
+        assert_eq!(d.ul_grants[0].ul.slot, 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! UE-side scheduling request (TS 38.321 §5.4.4).
+//!
+//! When uplink data arrives and the UE holds no grant, MAC triggers an SR —
+//! step ② of the paper's Fig 2. The SR is a single bit on PUCCH, sent at
+//! the next SR *opportunity*; the paper's §5 footnote notes that "any UE
+//! can send SR (one bit) at any time during the UL slot", which corresponds
+//! to a per-UL-slot opportunity configuration. The SR-to-grant handshake is
+//! the protocol latency grant-free access eliminates (Fig 6a vs 6b).
+
+use serde::{Deserialize, Serialize};
+use sim::{Duration, Instant};
+
+/// SR opportunity configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SrOpportunities {
+    /// An SR can ride any uplink portion (the paper's model: 1 bit,
+    /// anywhere in a UL slot).
+    EveryUplinkSlot,
+    /// Periodic PUCCH resources: every `period_slots` slots, at
+    /// `offset_slots` (only valid if those slots have UL).
+    Periodic {
+        /// SR period in slots.
+        period_slots: u64,
+        /// Slot offset of the opportunity within the period.
+        offset_slots: u64,
+    },
+}
+
+/// SR procedure configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SrConfig {
+    /// Where SR opportunities occur.
+    pub opportunities: SrOpportunities,
+    /// `sr-ProhibitTimer`: minimum spacing between SR transmissions while
+    /// one is outstanding.
+    pub prohibit: Duration,
+    /// `sr-TransMax`: give up (and fall back to RACH in a real UE) after
+    /// this many transmissions.
+    pub max_transmissions: u32,
+}
+
+impl Default for SrConfig {
+    fn default() -> Self {
+        SrConfig {
+            opportunities: SrOpportunities::EveryUplinkSlot,
+            prohibit: Duration::from_millis(1),
+            max_transmissions: 8,
+        }
+    }
+}
+
+/// The SR state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SrState {
+    /// No SR pending.
+    Idle,
+    /// Data arrived; SR waiting for an opportunity.
+    Pending {
+        /// When the triggering data arrived.
+        triggered_at: Instant,
+    },
+    /// SR transmitted; awaiting a grant (prohibit timer running).
+    Sent {
+        /// Time of the last SR transmission.
+        last_tx: Instant,
+        /// Transmissions so far.
+        count: u32,
+    },
+    /// `sr-TransMax` exceeded: a real UE would start random access.
+    Failed,
+}
+
+/// The UE's SR procedure.
+#[derive(Debug, Clone)]
+pub struct SrProcedure {
+    config: SrConfig,
+    state: SrState,
+}
+
+impl SrProcedure {
+    /// Creates the procedure in the idle state.
+    pub fn new(config: SrConfig) -> SrProcedure {
+        SrProcedure { config, state: SrState::Idle }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SrState {
+        self.state
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SrConfig {
+        &self.config
+    }
+
+    /// New UL data with no grant available: trigger an SR (no-op if one is
+    /// already in flight).
+    pub fn trigger(&mut self, now: Instant) {
+        if matches!(self.state, SrState::Idle) {
+            self.state = SrState::Pending { triggered_at: now };
+        }
+    }
+
+    /// Asks whether an SR should be transmitted at the UL opportunity
+    /// starting at `opportunity` in global slot `slot`. Advances the state
+    /// machine when the answer is yes.
+    pub fn maybe_transmit(&mut self, slot: u64, opportunity: Instant) -> bool {
+        if !self.opportunity_valid(slot) {
+            return false;
+        }
+        match self.state {
+            SrState::Pending { .. } => {
+                self.state = SrState::Sent { last_tx: opportunity, count: 1 };
+                true
+            }
+            SrState::Sent { last_tx, count } => {
+                if opportunity.checked_duration_since(last_tx).is_some_and(|d| d >= self.config.prohibit)
+                {
+                    if count >= self.config.max_transmissions {
+                        self.state = SrState::Failed;
+                        false
+                    } else {
+                        self.state = SrState::Sent { last_tx: opportunity, count: count + 1 };
+                        true
+                    }
+                } else {
+                    false
+                }
+            }
+            SrState::Idle | SrState::Failed => false,
+        }
+    }
+
+    fn opportunity_valid(&self, slot: u64) -> bool {
+        match self.config.opportunities {
+            SrOpportunities::EveryUplinkSlot => true,
+            SrOpportunities::Periodic { period_slots, offset_slots } => {
+                slot % period_slots == offset_slots % period_slots
+            }
+        }
+    }
+
+    /// A grant arrived: the SR is satisfied.
+    pub fn on_grant(&mut self) {
+        self.state = SrState::Idle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_until_triggered() {
+        let mut sr = SrProcedure::new(SrConfig::default());
+        assert!(!sr.maybe_transmit(0, Instant::ZERO));
+        sr.trigger(Instant::from_micros(10));
+        assert_eq!(sr.state(), SrState::Pending { triggered_at: Instant::from_micros(10) });
+        assert!(sr.maybe_transmit(1, Instant::from_micros(250)));
+        assert!(matches!(sr.state(), SrState::Sent { count: 1, .. }));
+    }
+
+    #[test]
+    fn grant_resolves() {
+        let mut sr = SrProcedure::new(SrConfig::default());
+        sr.trigger(Instant::ZERO);
+        assert!(sr.maybe_transmit(0, Instant::ZERO));
+        sr.on_grant();
+        assert_eq!(sr.state(), SrState::Idle);
+        // Re-triggerable afterwards.
+        sr.trigger(Instant::from_micros(5));
+        assert!(matches!(sr.state(), SrState::Pending { .. }));
+    }
+
+    #[test]
+    fn prohibit_timer_spaces_retransmissions() {
+        let cfg = SrConfig { prohibit: Duration::from_millis(2), ..SrConfig::default() };
+        let mut sr = SrProcedure::new(cfg);
+        sr.trigger(Instant::ZERO);
+        assert!(sr.maybe_transmit(0, Instant::ZERO));
+        // Too soon.
+        assert!(!sr.maybe_transmit(1, Instant::from_millis(1)));
+        // Exactly at the prohibit boundary: allowed.
+        assert!(sr.maybe_transmit(4, Instant::from_millis(2)));
+        assert!(matches!(sr.state(), SrState::Sent { count: 2, .. }));
+    }
+
+    #[test]
+    fn trans_max_fails_the_procedure() {
+        let cfg = SrConfig {
+            prohibit: Duration::from_micros(1),
+            max_transmissions: 2,
+            ..SrConfig::default()
+        };
+        let mut sr = SrProcedure::new(cfg);
+        sr.trigger(Instant::ZERO);
+        assert!(sr.maybe_transmit(0, Instant::ZERO));
+        assert!(sr.maybe_transmit(1, Instant::from_micros(10)));
+        // Third attempt exceeds sr-TransMax.
+        assert!(!sr.maybe_transmit(2, Instant::from_micros(20)));
+        assert_eq!(sr.state(), SrState::Failed);
+    }
+
+    #[test]
+    fn periodic_opportunities_filter_slots() {
+        let cfg = SrConfig {
+            opportunities: SrOpportunities::Periodic { period_slots: 4, offset_slots: 3 },
+            ..SrConfig::default()
+        };
+        let mut sr = SrProcedure::new(cfg);
+        sr.trigger(Instant::ZERO);
+        assert!(!sr.maybe_transmit(0, Instant::ZERO));
+        assert!(!sr.maybe_transmit(2, Instant::from_micros(500)));
+        assert!(sr.maybe_transmit(3, Instant::from_micros(750)));
+        assert!(matches!(sr.state(), SrState::Sent { .. }));
+    }
+
+    #[test]
+    fn double_trigger_is_idempotent() {
+        let mut sr = SrProcedure::new(SrConfig::default());
+        sr.trigger(Instant::from_micros(1));
+        sr.trigger(Instant::from_micros(2));
+        assert_eq!(sr.state(), SrState::Pending { triggered_at: Instant::from_micros(1) });
+    }
+}

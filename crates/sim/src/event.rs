@@ -1,0 +1,205 @@
+//! Deterministic future-event queue.
+//!
+//! The queue is a binary heap keyed on `(time, sequence)`, where `sequence`
+//! is a monotonically increasing insertion counter. The counter guarantees
+//! that events scheduled for the *same* instant pop in the order they were
+//! pushed — heap tie-breaking is otherwise unspecified and would make runs
+//! depend on allocation details, destroying reproducibility.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Instant;
+
+/// An event plus the instant at which it fires.
+#[derive(Debug, Clone)]
+pub struct EventEntry<E> {
+    /// When the event fires.
+    pub at: Instant,
+    /// Insertion sequence number, used only for deterministic tie-breaking.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for EventEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for EventEntry<E> {}
+
+impl<E> Ord for EventEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for EventEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A future-event list for discrete-event simulation.
+///
+/// ```
+/// use urllc_sim::{EventQueue, Instant};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Instant::from_micros(10), "b");
+/// q.push(Instant::from_micros(5), "a");
+/// q.push(Instant::from_micros(10), "c"); // same time as "b", pushed later
+///
+/// assert_eq!(q.pop().unwrap().1, "a");
+/// assert_eq!(q.pop().unwrap().1, "b");
+/// assert_eq!(q.pop().unwrap().1, "c");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<EventEntry<E>>,
+    next_seq: u64,
+    now: Instant,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`Instant::ZERO`].
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Instant::ZERO }
+    }
+
+    /// The current simulation time: the fire time of the most recently
+    /// popped event (or zero before any pop).
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Schedules `event` to fire at `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling into the past would break
+    /// causality silently, which is the worst possible failure mode for a
+    /// latency study.
+    pub fn push(&mut self, at: Instant, event: E) {
+        assert!(at >= self.now, "event scheduled in the past: {at:?} < now {:?}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(EventEntry { at, seq, event });
+    }
+
+    /// Pops the earliest event, advancing the clock to its fire time.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Fire time of the next event, without popping.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Instant::from_micros(30), 3);
+        q.push(Instant::from_micros(10), 1);
+        q.push(Instant::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_among_simultaneous_events() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_micros(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.push(Instant::from_micros(7), ());
+        assert_eq!(q.now(), Instant::ZERO);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Instant::from_micros(7));
+        assert_eq!(q.now(), Instant::from_micros(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.push(Instant::from_micros(10), ());
+        q.pop();
+        q.push(Instant::from_micros(5), ());
+    }
+
+    #[test]
+    fn push_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.push(Instant::from_micros(10), 1);
+        q.pop();
+        // A handler may schedule follow-up work at the current instant.
+        q.push(q.now(), 2);
+        assert_eq!(q.pop().unwrap(), (Instant::from_micros(10), 2));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Instant::from_micros(4), ());
+        q.push(Instant::from_micros(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Instant::from_micros(2)));
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        q.push(Instant::from_micros(10), "first");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "first");
+        // Handler schedules two events: one sooner, one later.
+        q.push(t + Duration::from_micros(5), "second");
+        q.push(t + Duration::from_micros(15), "third");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+}

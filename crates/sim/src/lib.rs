@@ -1,0 +1,37 @@
+//! # urllc-sim — deterministic discrete-event simulation engine
+//!
+//! This crate provides the substrate on which the whole `urllc-5g` workspace
+//! runs: a nanosecond-resolution notion of time, a deterministic event queue,
+//! reproducible random-number streams, service-time distributions, and
+//! streaming statistics.
+//!
+//! ## Design
+//!
+//! Following the event-driven, poll-based style of embedded network stacks
+//! (e.g. smoltcp), the engine is fully synchronous and deterministic:
+//!
+//! * [`time::Instant`] and [`time::Duration`] are thin wrappers over integer
+//!   nanoseconds — no floating point in the time arithmetic, so event
+//!   ordering is exact and platform independent.
+//! * [`event::EventQueue`] breaks ties by insertion order, so two events
+//!   scheduled for the same instant always fire in the order they were
+//!   scheduled, independent of heap internals.
+//! * [`rng::SimRng`] derives independent child streams from a single master
+//!   seed, so adding a new random component does not perturb the draws seen
+//!   by existing components (a classic simulation-reproducibility pitfall).
+//!
+//! Identical seeds and identical inputs therefore produce bit-identical
+//! traces, which is what lets the benchmark harness regenerate each figure
+//! of the paper exactly.
+
+pub mod dist;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use dist::{Dist, ServiceTime};
+pub use event::{EventEntry, EventQueue};
+pub use rng::SimRng;
+pub use stats::{Histogram, LatencyRecorder, StreamingStats, Summary};
+pub use time::{Duration, Instant};

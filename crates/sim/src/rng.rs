@@ -1,0 +1,180 @@
+//! Reproducible random-number streams.
+//!
+//! A simulation with several stochastic components (per-layer processing
+//! times, OS jitter, channel loss, traffic arrivals) must give each
+//! component its *own* stream: if they all drew from one generator, adding a
+//! draw anywhere would shift every subsequent draw everywhere, making
+//! experiments impossible to compare across code versions. [`SimRng`]
+//! therefore derives independent child streams from a master seed via a
+//! SplitMix64 hash of the child's label.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// SplitMix64 step — a high-quality 64-bit mixer used to derive child seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a label into a 64-bit stream discriminator.
+fn hash_label(label: &str) -> u64 {
+    // FNV-1a, then one splitmix round to spread low-entropy labels.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut s = h;
+    splitmix64(&mut s)
+}
+
+/// A deterministic random-number generator with labelled sub-streams.
+///
+/// ```
+/// use urllc_sim::SimRng;
+/// use rand::Rng;
+///
+/// let mut a = SimRng::from_seed(42).stream("os-jitter");
+/// let mut b = SimRng::from_seed(42).stream("os-jitter");
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>()); // same seed+label => same draws
+///
+/// let mut c = SimRng::from_seed(42).stream("channel");
+/// assert_ne!(SimRng::from_seed(42).stream("os-jitter").gen::<u64>(),
+///            c.gen::<u64>()); // different labels => independent streams
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    seed: u64,
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a master seed.
+    pub fn from_seed(seed: u64) -> SimRng {
+        let mut s = seed;
+        let derived = splitmix64(&mut s);
+        SimRng { seed, inner: StdRng::seed_from_u64(derived) }
+    }
+
+    /// The master seed this generator was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator for the component `label`.
+    ///
+    /// Children with the same `(master seed, label)` are identical; children
+    /// with different labels are statistically independent.
+    pub fn stream(&self, label: &str) -> SimRng {
+        let mut s = self.seed ^ hash_label(label);
+        let derived = splitmix64(&mut s);
+        SimRng { seed: s, inner: StdRng::seed_from_u64(derived) }
+    }
+
+    /// Derives an independent child generator for an indexed entity
+    /// (e.g. UE #3).
+    pub fn stream_indexed(&self, label: &str, index: u64) -> SimRng {
+        let mut s = self.seed ^ hash_label(label) ^ splitmix64(&mut { index.wrapping_add(1) });
+        let derived = splitmix64(&mut s);
+        SimRng { seed: s, inner: StdRng::seed_from_u64(derived) }
+    }
+
+    /// Draws a uniformly distributed `f64` in `[0, 1)`.
+    pub fn uniform01(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::from_seed(7);
+        let mut b = SimRng::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::from_seed(7);
+        let mut b = SimRng::from_seed(8);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn streams_are_reproducible_and_independent() {
+        let master = SimRng::from_seed(1234);
+        let mut s1 = master.stream("alpha");
+        let mut s2 = master.stream("alpha");
+        let mut s3 = master.stream("beta");
+        let a = s1.next_u64();
+        assert_eq!(a, s2.next_u64());
+        assert_ne!(a, s3.next_u64());
+    }
+
+    #[test]
+    fn indexed_streams_differ_by_index() {
+        let master = SimRng::from_seed(1);
+        let mut u0 = master.stream_indexed("ue", 0);
+        let mut u1 = master.stream_indexed("ue", 1);
+        assert_ne!(u0.next_u64(), u1.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::from_seed(9);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn uniform01_in_range_and_roughly_uniform() {
+        let mut r = SimRng::from_seed(5);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.uniform01();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+}

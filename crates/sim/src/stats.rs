@@ -1,0 +1,455 @@
+//! Streaming statistics, histograms and latency recorders.
+//!
+//! Every experiment in the benchmark harness reduces to one of three
+//! artifacts: a `(mean, std)` pair (Table 2), a probability histogram
+//! (Fig 6), or a latency-vs-parameter series (Fig 5). This module provides
+//! the numerically careful primitives for all three.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Duration;
+
+/// Welford online mean/variance accumulator.
+///
+/// Numerically stable for long runs (naive sum-of-squares loses precision
+/// after ~10⁷ microsecond-scale samples, which a 5G latency sweep easily
+/// exceeds).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StreamingStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> StreamingStats {
+        StreamingStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance with Bessel's correction (0 for fewer than two
+    /// observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel sweeps).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A fixed-bin probability histogram over `[lo, hi)`.
+///
+/// Matches the presentation of the paper's Fig 6: x = one-way latency,
+/// y = probability per bin. Out-of-range samples are counted in saturated
+/// edge bins so that probabilities still sum to one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range is empty");
+        Histogram { lo, hi, bins: vec![0; bins], count: 0 }
+    }
+
+    /// Adds one observation; values outside `[lo, hi)` clamp to edge bins.
+    pub fn push(&mut self, x: f64) {
+        let nbins = self.bins.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            nbins - 1
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            ((frac * nbins as f64) as usize).min(nbins - 1)
+        };
+        self.bins[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Width of one bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins.len() as f64
+    }
+
+    /// Iterator over `(bin_center, probability)` pairs.
+    pub fn probabilities(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let w = self.bin_width();
+        let total = self.count.max(1) as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + (i as f64 + 0.5) * w, c as f64 / total))
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Fraction of observations strictly below `x` (linear interpolation
+    /// inside the containing bin).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return 1.0;
+        }
+        let w = self.bin_width();
+        let pos = (x - self.lo) / w;
+        let full = pos.floor() as usize;
+        let frac = pos - full as f64;
+        let below: u64 = self.bins[..full].iter().sum();
+        let partial = self.bins.get(full).copied().unwrap_or(0) as f64 * frac;
+        (below as f64 + partial) / self.count as f64
+    }
+}
+
+/// Records every latency sample for exact quantiles, plus streaming moments.
+///
+/// Storing all samples is affordable here (a figure-scale experiment is
+/// 10⁴–10⁶ samples) and buys exact percentiles — important because URLLC
+/// reliability statements are about the 99.999th percentile, where
+/// approximate sketches are least trustworthy.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    samples_us: Vec<f64>,
+    stats: StreamingStats,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder { samples_us: Vec::new(), stats: StreamingStats::new(), sorted: true }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        let us = d.as_micros_f64();
+        self.samples_us.push(us);
+        self.stats.push(us);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples_us.sort_by(|a, b| a.partial_cmp(b).expect("latency is never NaN"));
+            self.sorted = true;
+        }
+    }
+
+    /// Exact `q`-quantile in microseconds (`q` in `[0, 1]`), using the
+    /// nearest-rank method.
+    ///
+    /// # Panics
+    /// Panics when empty.
+    pub fn quantile_us(&mut self, q: f64) -> f64 {
+        assert!(!self.samples_us.is_empty(), "quantile of empty recorder");
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        self.ensure_sorted();
+        let n = self.samples_us.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.samples_us[rank - 1]
+    }
+
+    /// Fraction of samples at or below `deadline` — the paper's
+    /// "reliability" metric (e.g. fraction of packets meeting 0.5 ms).
+    pub fn fraction_within(&mut self, deadline: Duration) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let d = deadline.as_micros_f64();
+        let idx = self.samples_us.partition_point(|&x| x <= d);
+        idx as f64 / self.samples_us.len() as f64
+    }
+
+    /// Builds a probability histogram of the samples (values in
+    /// milliseconds, matching Fig 6's axes).
+    pub fn histogram_ms(&self, lo_ms: f64, hi_ms: f64, bins: usize) -> Histogram {
+        let mut h = Histogram::new(lo_ms, hi_ms, bins);
+        for &us in &self.samples_us {
+            h.push(us / 1_000.0);
+        }
+        h
+    }
+
+    /// Summary of the recorded samples.
+    pub fn summary(&mut self) -> Summary {
+        if self.is_empty() {
+            return Summary::default();
+        }
+        Summary {
+            count: self.count(),
+            mean_us: self.stats.mean(),
+            std_us: self.stats.std(),
+            min_us: self.stats.min(),
+            max_us: self.stats.max(),
+            p50_us: self.quantile_us(0.50),
+            p99_us: self.quantile_us(0.99),
+            p999_us: self.quantile_us(0.999),
+        }
+    }
+
+    /// Raw samples in microseconds (unsorted order not guaranteed).
+    pub fn samples_us(&self) -> &[f64] {
+        &self.samples_us
+    }
+}
+
+/// A compact latency summary for reports and EXPERIMENTS.md tables.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean, µs.
+    pub mean_us: f64,
+    /// Standard deviation, µs.
+    pub std_us: f64,
+    /// Minimum, µs.
+    pub min_us: f64,
+    /// Maximum, µs.
+    pub max_us: f64,
+    /// Median, µs.
+    pub p50_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+    /// 99.9th percentile, µs.
+    pub p999_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut st = StreamingStats::new();
+        for &x in &xs {
+            st.push(x);
+        }
+        assert_eq!(st.count(), 8);
+        assert!((st.mean() - 5.0).abs() < 1e-12);
+        // Naive sample variance: sum((x-5)^2)/(n-1) = 32/7.
+        assert!((st.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(st.min(), 2.0);
+        assert_eq!(st.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let st = StreamingStats::new();
+        assert_eq!(st.mean(), 0.0);
+        assert_eq!(st.variance(), 0.0);
+        assert!(st.min().is_nan());
+        assert!(st.max().is_nan());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0 + 200.0).collect();
+        let mut whole = StreamingStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &xs[..313] {
+            a.push(x);
+        }
+        for &x in &xs[313..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-6);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = StreamingStats::new();
+        a.push(1.0);
+        let b = StreamingStats::new();
+        let before = a.clone();
+        a.merge(&b);
+        assert_eq!(a.count(), before.count());
+        let mut c = StreamingStats::new();
+        c.merge(&before);
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn histogram_probabilities_sum_to_one() {
+        let mut h = Histogram::new(0.0, 8.0, 80);
+        for i in 0..1000 {
+            h.push(i as f64 * 0.009); // 0..9, some out of range
+        }
+        let total: f64 = h.probabilities().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn histogram_out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.push(-5.0);
+        h.push(99.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+    }
+
+    #[test]
+    fn histogram_cdf() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        assert_eq!(h.cdf(0.0), 0.0);
+        assert_eq!(h.cdf(10.0), 1.0);
+        assert!((h.cdf(5.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorder_quantiles_exact() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            r.record(Duration::from_micros(i));
+        }
+        assert_eq!(r.quantile_us(0.5), 50.0);
+        assert_eq!(r.quantile_us(0.99), 99.0);
+        assert_eq!(r.quantile_us(1.0), 100.0);
+        assert_eq!(r.quantile_us(0.0), 1.0);
+    }
+
+    #[test]
+    fn recorder_fraction_within() {
+        let mut r = LatencyRecorder::new();
+        for i in 1..=10u64 {
+            r.record(Duration::from_micros(i * 100));
+        }
+        assert!((r.fraction_within(Duration::from_micros(500)) - 0.5).abs() < 1e-12);
+        assert_eq!(r.fraction_within(Duration::from_micros(5)), 0.0);
+        assert_eq!(r.fraction_within(Duration::from_millis(10)), 1.0);
+    }
+
+    #[test]
+    fn recorder_summary() {
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::from_micros(100));
+        r.record(Duration::from_micros(300));
+        let s = r.summary();
+        assert_eq!(s.count, 2);
+        assert!((s.mean_us - 200.0).abs() < 1e-12);
+        assert_eq!(s.min_us, 100.0);
+        assert_eq!(s.max_us, 300.0);
+    }
+
+    #[test]
+    fn empty_recorder_summary_is_default() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.summary(), Summary::default());
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-stage latency traces: the paper's Fig 2 (journey steps) and Fig 3
+//! (temporal breakdown), as data.
+
+use serde::Serialize;
+use sim::{Duration, Instant};
+
+/// One stage of a packet's journey, with its time span.
+///
+/// (`Serialize`-only: labels are `&'static str` drawn from the Fig 3
+/// vocabulary, so traces are emitted to reports but never read back.)
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct StageSpan {
+    /// Stage label, using the paper's Fig 3 vocabulary (`APP↓`, `SR wait`,
+    /// `SCHE`, `↑MAC↓`, `MAC↑`, `SDAP↓`, `PHY↑`, `Radio`, ...).
+    pub label: &'static str,
+    /// Stage start.
+    pub start: Instant,
+    /// Stage end.
+    pub end: Instant,
+}
+
+impl StageSpan {
+    /// Creates a span.
+    pub fn new(label: &'static str, start: Instant, end: Instant) -> StageSpan {
+        assert!(end >= start, "stage {label} ends before it starts");
+        StageSpan { label, start, end }
+    }
+
+    /// Stage duration.
+    pub fn duration(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// The full trace of one ping round trip.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct PingTrace {
+    /// Ping identifier.
+    pub id: u64,
+    /// Uplink (request) stages, in order.
+    pub ul: Vec<StageSpan>,
+    /// Downlink (reply) stages, in order.
+    pub dl: Vec<StageSpan>,
+}
+
+impl PingTrace {
+    /// Creates an empty trace.
+    pub fn new(id: u64) -> PingTrace {
+        PingTrace { id, ul: Vec::new(), dl: Vec::new() }
+    }
+
+    /// Total uplink latency (first stage start to last stage end).
+    pub fn ul_latency(&self) -> Duration {
+        span_total(&self.ul)
+    }
+
+    /// Total downlink latency.
+    pub fn dl_latency(&self) -> Duration {
+        span_total(&self.dl)
+    }
+
+    /// Round-trip time.
+    pub fn rtt(&self) -> Duration {
+        if self.ul.is_empty() || self.dl.is_empty() {
+            return Duration::ZERO;
+        }
+        self.dl.last().expect("non-empty").end - self.ul.first().expect("non-empty").start
+    }
+
+    /// Renders the trace as an ASCII timeline (one line per stage) — the
+    /// `repro fig3` output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let origin = match self.ul.first() {
+            Some(s) => s.start,
+            None => return out,
+        };
+        out.push_str(&format!("ping #{} — uplink (request)\n", self.id));
+        render_side(&mut out, &self.ul, origin);
+        out.push_str("downlink (reply)\n");
+        render_side(&mut out, &self.dl, origin);
+        out.push_str(&format!(
+            "one-way UL {:>10}   one-way DL {:>10}   RTT {:>10}\n",
+            format!("{}", self.ul_latency()),
+            format!("{}", self.dl_latency()),
+            format!("{}", self.rtt()),
+        ));
+        out
+    }
+}
+
+fn span_total(spans: &[StageSpan]) -> Duration {
+    match (spans.first(), spans.last()) {
+        (Some(a), Some(b)) => b.end - a.start,
+        _ => Duration::ZERO,
+    }
+}
+
+fn render_side(out: &mut String, spans: &[StageSpan], origin: Instant) {
+    for s in spans {
+        let from = s.start - origin;
+        let to = s.end - origin;
+        out.push_str(&format!(
+            "  {:<14} {:>10} → {:>10}  ({:>9})\n",
+            s.label,
+            format!("{from}"),
+            format!("{to}"),
+            format!("{}", s.duration()),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> Instant {
+        Instant::from_micros(v)
+    }
+
+    #[test]
+    fn totals_and_rtt() {
+        let mut t = PingTrace::new(1);
+        t.ul.push(StageSpan::new("APP↓", us(0), us(50)));
+        t.ul.push(StageSpan::new("UL data", us(500), us(600)));
+        t.dl.push(StageSpan::new("SDAP↓", us(650), us(700)));
+        t.dl.push(StageSpan::new("PHY↑", us(1_200), us(1_300)));
+        assert_eq!(t.ul_latency(), Duration::from_micros(600));
+        assert_eq!(t.dl_latency(), Duration::from_micros(650));
+        assert_eq!(t.rtt(), Duration::from_micros(1_300));
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let t = PingTrace::new(0);
+        assert_eq!(t.ul_latency(), Duration::ZERO);
+        assert_eq!(t.rtt(), Duration::ZERO);
+        assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn render_contains_stages_and_totals() {
+        let mut t = PingTrace::new(3);
+        t.ul.push(StageSpan::new("APP↓", us(0), us(10)));
+        t.dl.push(StageSpan::new("PHY↑", us(20), us(30)));
+        let r = t.render();
+        assert!(r.contains("APP↓"));
+        assert!(r.contains("PHY↑"));
+        assert!(r.contains("RTT"));
+        assert!(r.contains("ping #3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn rejects_negative_span() {
+        StageSpan::new("bad", us(10), us(5));
+    }
+}

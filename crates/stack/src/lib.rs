@@ -1,0 +1,36 @@
+//! # urllc-stack — the composed 5G system
+//!
+//! This crate wires every substrate together into the system of the paper's
+//! Fig 2 — UE application down through SDAP/PDCP/RLC/MAC/PHY, over the
+//! radio heads and the air, up the gNB stack, through GTP-U to the UPF —
+//! and drives ping round trips through it under a discrete-event clock.
+//!
+//! * [`config`] — one struct gathering every knob (duplexing, access mode,
+//!   processing models, radio heads, backbone), with presets for the
+//!   paper's §7 testbed and the §5 ideal URLLC designs;
+//! * [`node`] — the UE and gNB protocol stacks: real PDU encode/decode
+//!   through every layer (packets are actually built, ciphered, segmented,
+//!   multiplexed, modulated — not just delayed);
+//! * [`journey`] — per-stage latency traces of a ping (Fig 2's eleven steps
+//!   / Fig 3's timeline), with an ASCII renderer;
+//! * [`experiment`] — the end-to-end ping experiment: per-direction latency
+//!   distributions (Fig 6), per-layer processing statistics (Table 2),
+//!   radio deadline bookkeeping (§6 reliability);
+//! * [`multi_ue`] — the §9 scalability experiment: uplink latency and
+//!   resource waste as the UE population grows, grant-free vs grant-based;
+//! * [`coexistence`] — URLLC sharing the downlink with eMBB: queueing vs
+//!   preemption (the §1 coexistence literature, on this stack).
+
+pub mod coexistence;
+pub mod config;
+pub mod experiment;
+pub mod journey;
+pub mod multi_ue;
+pub mod node;
+
+pub use coexistence::{coexistence_sweep, CoexistencePoint, CoexistencePolicy};
+pub use config::StackConfig;
+pub use experiment::{ExperimentResult, PingExperiment};
+pub use journey::{PingTrace, StageSpan};
+pub use multi_ue::{run_multi_ue, scalability_sweep, MultiUeConfig, MultiUeResult};
+pub use node::{GnbStack, UeStack};

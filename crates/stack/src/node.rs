@@ -1,0 +1,422 @@
+//! The UE and gNB protocol stacks: real bytes through every layer.
+//!
+//! Unlike a pure latency model, these stacks *build* each PDU: the ping
+//! payload is SDAP-framed, PDCP-numbered and ciphered, RLC-segmented,
+//! MAC-multiplexed (with a BSR riding along on the uplink), scrambled and
+//! modulated to IQ samples — then decoded in reverse at the far end, with
+//! every header checked. The latency experiment asserts byte-exact
+//! delivery, so a framing bug anywhere in the workspace fails loudly.
+
+use bytes::Bytes;
+use corenet::upf::{Session, Upf};
+use phy::modulation::Iq;
+use phy::scrambling::data_scrambling_c_init;
+use phy::transport::{self, ShChConfig};
+use ran::mac::{self, MacPdu, MacSubPdu};
+use ran::pdcp::{Direction, PdcpConfig, PdcpEntity};
+use ran::rlc::RlcUmEntity;
+use ran::sched::Rnti;
+use ran::sdap::SdapEntity;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The QFI used for ping traffic (9 = default internet QoS flow).
+pub const PING_QFI: u8 = 9;
+
+/// The DRB / logical channel carrying it.
+pub const PING_LCID: u8 = 1;
+
+/// Errors surfaced by the composed stacks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StackError {
+    /// SDAP failure.
+    Sdap(String),
+    /// PDCP failure.
+    Pdcp(String),
+    /// RLC failure.
+    Rlc(String),
+    /// MAC failure.
+    Mac(String),
+    /// PHY transport failure.
+    Phy(String),
+    /// Core-network failure.
+    Core(String),
+    /// The UE is not attached at the gNB.
+    UnknownRnti(Rnti),
+}
+
+impl core::fmt::Display for StackError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StackError::Sdap(e) => write!(f, "SDAP: {e}"),
+            StackError::Pdcp(e) => write!(f, "PDCP: {e}"),
+            StackError::Rlc(e) => write!(f, "RLC: {e}"),
+            StackError::Mac(e) => write!(f, "MAC: {e}"),
+            StackError::Phy(e) => write!(f, "PHY: {e}"),
+            StackError::Core(e) => write!(f, "core: {e}"),
+            StackError::UnknownRnti(r) => write!(f, "unknown RNTI {r}"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+fn sh_ch_config(rnti: Rnti, dl: bool) -> ShChConfig {
+    // Distinct scrambling per UE and direction, as in TS 38.211.
+    ShChConfig {
+        modulation: phy::modulation::Modulation::Qpsk,
+        c_init: data_scrambling_c_init(rnti, u8::from(dl), 101),
+    }
+}
+
+/// The UE-side protocol stack.
+#[derive(Debug)]
+pub struct UeStack {
+    /// This UE's RNTI.
+    pub rnti: Rnti,
+    sdap: SdapEntity,
+    pdcp: PdcpEntity,
+    rlc: RlcUmEntity,
+}
+
+impl UeStack {
+    /// Creates a UE stack sharing `key` with the gNB.
+    pub fn new(rnti: Rnti, key: u64) -> UeStack {
+        let mut sdap = SdapEntity::new();
+        sdap.map_flow(PING_QFI, PING_LCID);
+        UeStack {
+            rnti,
+            sdap,
+            pdcp: PdcpEntity::new(PdcpConfig::new(key, PING_LCID, Direction::Uplink)),
+            rlc: RlcUmEntity::new(),
+        }
+    }
+
+    /// Encodes an application payload into uplink MAC PDUs, each at most
+    /// `grant_bytes` long (several when the grant forces segmentation).
+    pub fn encode_uplink(
+        &mut self,
+        payload: &Bytes,
+        grant_bytes: usize,
+    ) -> Result<Vec<Bytes>, StackError> {
+        let (_drb, sdap_pdu) =
+            self.sdap.encode_pdu(PING_QFI, payload).map_err(|e| StackError::Sdap(e.to_string()))?;
+        let pdcp_pdu = self.pdcp.tx_encode(&sdap_pdu);
+        self.rlc.tx_sdu(pdcp_pdu);
+        let mut out = Vec::new();
+        loop {
+            // Reserve room for the MAC subheaders (data + BSR).
+            let bsr = MacSubPdu::new(mac::lcid::SHORT_BSR, mac::encode_short_bsr(0, self.rlc.queued_bytes()));
+            let overhead = bsr.encoded_len() + 3; // data subheader worst case
+            if grant_bytes <= overhead + 1 {
+                return Err(StackError::Mac(format!("grant {grant_bytes} B too small")));
+            }
+            match self
+                .rlc
+                .pull_pdu(grant_bytes - overhead)
+                .map_err(|e| StackError::Rlc(e.to_string()))?
+            {
+                Some(rlc_pdu) => {
+                    let pdu = MacPdu::new(vec![bsr, MacSubPdu::new(PING_LCID, rlc_pdu)]);
+                    out.push(pdu.encode(None).map_err(|e| StackError::Mac(e.to_string()))?);
+                }
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes a downlink MAC PDU; returns any application payloads
+    /// completed by it.
+    pub fn decode_downlink(&mut self, mac_pdu: &Bytes) -> Result<Vec<Bytes>, StackError> {
+        let pdu = MacPdu::decode(mac_pdu).map_err(|e| StackError::Mac(e.to_string()))?;
+        let mut payloads = Vec::new();
+        for sub in pdu.subpdus {
+            if sub.lcid != PING_LCID {
+                continue; // control elements
+            }
+            let pdcp_pdus =
+                self.rlc.rx_pdu(&sub.payload).map_err(|e| StackError::Rlc(e.to_string()))?;
+            for p in pdcp_pdus {
+                let sdap_pdus =
+                    self.pdcp.rx_decode(&p).map_err(|e| StackError::Pdcp(e.to_string()))?;
+                for s in sdap_pdus {
+                    let (_h, payload) =
+                        self.sdap.decode_pdu(&s).map_err(|e| StackError::Sdap(e.to_string()))?;
+                    payloads.push(payload);
+                }
+            }
+        }
+        Ok(payloads)
+    }
+
+    /// Modulates an uplink MAC PDU to IQ samples.
+    pub fn phy_encode(&self, mac_pdu: &Bytes) -> Vec<Iq> {
+        transport::encode(sh_ch_config(self.rnti, false), mac_pdu).0
+    }
+
+    /// Demodulates downlink samples to a MAC PDU.
+    pub fn phy_decode(&self, samples: &[Iq]) -> Result<Bytes, StackError> {
+        transport::decode(sh_ch_config(self.rnti, true), samples)
+            .map(Bytes::from)
+            .map_err(|e| StackError::Phy(e.to_string()))
+    }
+
+    /// Number of IQ samples an uplink MAC PDU of `bytes` bytes produces.
+    pub fn phy_sample_count(&self, bytes: usize) -> usize {
+        transport::sample_count(sh_ch_config(self.rnti, false), bytes)
+    }
+}
+
+#[derive(Debug)]
+struct UeContext {
+    pdcp: PdcpEntity,
+    rlc: RlcUmEntity,
+    sdap: SdapEntity,
+    session: Session,
+}
+
+/// The gNB-side protocol stack plus its embedded UPF link.
+#[derive(Debug)]
+pub struct GnbStack {
+    contexts: BTreeMap<Rnti, UeContext>,
+    upf: Upf,
+}
+
+impl Default for GnbStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GnbStack {
+    /// Creates an empty gNB.
+    pub fn new() -> GnbStack {
+        GnbStack { contexts: BTreeMap::new(), upf: Upf::new() }
+    }
+
+    /// Attaches a UE: creates the per-UE layer entities and a PDU session
+    /// at the UPF. `ue_addr` is the UE's IP on the data network.
+    pub fn attach_ue(&mut self, rnti: Rnti, key: u64, ue_addr: u32) {
+        let mut sdap = SdapEntity::new();
+        sdap.map_flow(PING_QFI, PING_LCID);
+        let session = self.upf.establish_session(ue_addr, u32::from(rnti) + 0x100);
+        self.contexts.insert(
+            rnti,
+            UeContext {
+                pdcp: PdcpEntity::new(PdcpConfig::new(key, PING_LCID, Direction::Downlink)),
+                rlc: RlcUmEntity::new(),
+                sdap,
+                session,
+            },
+        );
+    }
+
+    /// Attached UE count.
+    pub fn attached(&self) -> usize {
+        self.contexts.len()
+    }
+
+    fn ctx(&mut self, rnti: Rnti) -> Result<&mut UeContext, StackError> {
+        self.contexts.get_mut(&rnti).ok_or(StackError::UnknownRnti(rnti))
+    }
+
+    /// Decodes an uplink MAC PDU from `rnti`; completed packets are pushed
+    /// through GTP-U to the UPF and returned as data-network payloads.
+    pub fn decode_uplink(&mut self, rnti: Rnti, mac_pdu: &Bytes) -> Result<Vec<Bytes>, StackError> {
+        let ctx = self.contexts.get_mut(&rnti).ok_or(StackError::UnknownRnti(rnti))?;
+        let pdu = MacPdu::decode(mac_pdu).map_err(|e| StackError::Mac(e.to_string()))?;
+        let mut n3_packets = Vec::new();
+        for sub in pdu.subpdus {
+            if sub.lcid != PING_LCID {
+                continue;
+            }
+            let pdcp_pdus =
+                ctx.rlc.rx_pdu(&sub.payload).map_err(|e| StackError::Rlc(e.to_string()))?;
+            for p in pdcp_pdus {
+                let sdap_pdus =
+                    ctx.pdcp.rx_decode(&p).map_err(|e| StackError::Pdcp(e.to_string()))?;
+                for s in sdap_pdus {
+                    let (_h, payload) =
+                        ctx.sdap.decode_pdu(&s).map_err(|e| StackError::Sdap(e.to_string()))?;
+                    // N3: wrap in GTP-U toward the UPF.
+                    n3_packets.push((
+                        corenet::gtpu::GtpuHeader::gpdu(ctx.session.ul_teid).encode(&payload),
+                        (),
+                    ));
+                }
+            }
+        }
+        // UPF decapsulates onto the data network.
+        let mut out = Vec::new();
+        for (n3, ()) in n3_packets {
+            let (_sess, payload) =
+                self.upf.uplink(&n3).map_err(|e| StackError::Core(e.to_string()))?;
+            out.push(payload);
+        }
+        Ok(out)
+    }
+
+    /// Encodes a data-network payload for `ue_addr` into downlink MAC PDUs
+    /// (UPF encapsulation, N3, then the full gNB L2 chain).
+    pub fn encode_downlink(
+        &mut self,
+        ue_addr: u32,
+        payload: &Bytes,
+        grant_bytes: usize,
+    ) -> Result<(Rnti, Vec<Bytes>), StackError> {
+        let n3 =
+            self.upf.downlink(ue_addr, payload).map_err(|e| StackError::Core(e.to_string()))?;
+        let (gtp, inner) =
+            corenet::gtpu::GtpuHeader::decode(&n3).map_err(|e| StackError::Core(e.to_string()))?;
+        // Route by DL TEID back to the RNTI.
+        let rnti = (gtp.teid - 0x100) as Rnti;
+        let ctx = self.ctx(rnti)?;
+        let (_drb, sdap_pdu) = ctx
+            .sdap
+            .encode_pdu(PING_QFI, &inner)
+            .map_err(|e| StackError::Sdap(e.to_string()))?;
+        let pdcp_pdu = ctx.pdcp.tx_encode(&sdap_pdu);
+        ctx.rlc.tx_sdu(pdcp_pdu);
+        let mut out = Vec::new();
+        loop {
+            let overhead = 3;
+            if grant_bytes <= overhead + 1 {
+                return Err(StackError::Mac(format!("grant {grant_bytes} B too small")));
+            }
+            match ctx
+                .rlc
+                .pull_pdu(grant_bytes - overhead)
+                .map_err(|e| StackError::Rlc(e.to_string()))?
+            {
+                Some(rlc_pdu) => {
+                    let pdu = MacPdu::new(vec![MacSubPdu::new(PING_LCID, rlc_pdu)]);
+                    out.push(pdu.encode(None).map_err(|e| StackError::Mac(e.to_string()))?);
+                }
+                None => break,
+            }
+        }
+        Ok((rnti, out))
+    }
+
+    /// Modulates a downlink MAC PDU for `rnti` to IQ samples.
+    pub fn phy_encode(&self, rnti: Rnti, mac_pdu: &Bytes) -> Vec<Iq> {
+        transport::encode(sh_ch_config(rnti, true), mac_pdu).0
+    }
+
+    /// Demodulates uplink samples from `rnti` to a MAC PDU.
+    pub fn phy_decode(&self, rnti: Rnti, samples: &[Iq]) -> Result<Bytes, StackError> {
+        transport::decode(sh_ch_config(rnti, false), samples)
+            .map(Bytes::from)
+            .map_err(|e| StackError::Phy(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attach_pair() -> (UeStack, GnbStack) {
+        let mut gnb = GnbStack::new();
+        gnb.attach_ue(17, 0xABCD, 0x0A00_0001);
+        (UeStack::new(17, 0xABCD), gnb)
+    }
+
+    #[test]
+    fn uplink_end_to_end_bytes() {
+        let (mut ue, mut gnb) = attach_pair();
+        let payload = Bytes::from_static(b"ICMP echo request, seq=1");
+        let mac_pdus = ue.encode_uplink(&payload, 256).unwrap();
+        assert_eq!(mac_pdus.len(), 1);
+        let delivered = gnb.decode_uplink(17, &mac_pdus[0]).unwrap();
+        assert_eq!(delivered, vec![payload]);
+    }
+
+    #[test]
+    fn downlink_end_to_end_bytes() {
+        let (mut ue, mut gnb) = attach_pair();
+        let payload = Bytes::from_static(b"ICMP echo reply, seq=1");
+        let (rnti, mac_pdus) = gnb.encode_downlink(0x0A00_0001, &payload, 256).unwrap();
+        assert_eq!(rnti, 17);
+        let mut delivered = Vec::new();
+        for p in &mac_pdus {
+            delivered.extend(ue.decode_downlink(p).unwrap());
+        }
+        assert_eq!(delivered, vec![payload]);
+    }
+
+    #[test]
+    fn round_trip_through_phy_samples() {
+        let (mut ue, mut gnb) = attach_pair();
+        let payload = Bytes::from_static(b"over the air");
+        let mac_pdus = ue.encode_uplink(&payload, 256).unwrap();
+        let samples = ue.phy_encode(&mac_pdus[0]);
+        assert_eq!(samples.len(), ue.phy_sample_count(mac_pdus[0].len()));
+        let decoded = gnb.phy_decode(17, &samples).unwrap();
+        assert_eq!(decoded, mac_pdus[0]);
+        let delivered = gnb.decode_uplink(17, &decoded).unwrap();
+        assert_eq!(delivered, vec![payload]);
+    }
+
+    #[test]
+    fn small_grant_forces_multiple_mac_pdus() {
+        let (mut ue, mut gnb) = attach_pair();
+        let payload = Bytes::from(vec![0x42u8; 300]);
+        let mac_pdus = ue.encode_uplink(&payload, 64).unwrap();
+        assert!(mac_pdus.len() >= 5, "got {} PDUs", mac_pdus.len());
+        let mut delivered = Vec::new();
+        for p in &mac_pdus {
+            delivered.extend(gnb.decode_uplink(17, p).unwrap());
+        }
+        assert_eq!(delivered, vec![payload]);
+    }
+
+    #[test]
+    fn ul_and_dl_scrambling_differ() {
+        let (ue, gnb) = attach_pair();
+        let pdu = Bytes::from_static(b"same bytes");
+        let ul = ue.phy_encode(&pdu);
+        let dl = gnb.phy_encode(17, &pdu);
+        assert_ne!(
+            ul.iter().map(|s| (s.i.to_bits(), s.q.to_bits())).collect::<Vec<_>>(),
+            dl.iter().map(|s| (s.i.to_bits(), s.q.to_bits())).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unknown_rnti_rejected() {
+        let mut gnb = GnbStack::new();
+        assert_eq!(
+            gnb.decode_uplink(99, &Bytes::new()).unwrap_err(),
+            StackError::UnknownRnti(99)
+        );
+    }
+
+    #[test]
+    fn wrong_ue_cannot_decode() {
+        let (mut ue17, mut gnb) = attach_pair();
+        gnb.attach_ue(18, 0x9999, 0x0A00_0002);
+        let payload = Bytes::from_static(b"for UE 17 only");
+        let (_, mac_pdus) = gnb.encode_downlink(0x0A00_0001, &payload, 256).unwrap();
+        // UE 18 has a different key: PDCP deciphering garbles the SDU (the
+        // SDAP decode may nominally succeed, but bytes differ).
+        let mut ue18 = UeStack::new(18, 0x9999);
+        let out18 = ue18.decode_downlink(&mac_pdus[0]).unwrap_or_default();
+        assert!(out18.is_empty() || out18[0] != payload);
+        // The right UE decodes fine.
+        assert_eq!(ue17.decode_downlink(&mac_pdus[0]).unwrap(), vec![payload]);
+    }
+
+    #[test]
+    fn multiple_ues_are_isolated_sessions() {
+        let mut gnb = GnbStack::new();
+        gnb.attach_ue(1, 0x1, 100);
+        gnb.attach_ue(2, 0x2, 200);
+        assert_eq!(gnb.attached(), 2);
+        let p1 = Bytes::from_static(b"to ue 1");
+        let (rnti, _) = gnb.encode_downlink(100, &p1, 128).unwrap();
+        assert_eq!(rnti, 1);
+        let (rnti, _) = gnb.encode_downlink(200, &p1, 128).unwrap();
+        assert_eq!(rnti, 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Configuration explorer: walk the whole §5 design space interactively
+//! from the command line.
+//!
+//! ```sh
+//! cargo run --release -p urllc-examples --bin config_explorer            # full search
+//! cargo run --release -p urllc-examples --bin config_explorer -- DM      # one column
+//! cargo run --release -p urllc-examples --bin config_explorer -- DM 100  # 6G deadline (µs)
+//! ```
+//!
+//! Prints, for the chosen configuration(s): the worst-case latency of each
+//! direction with its annotated timeline, the §4 protocol/processing/radio
+//! decomposition under testbed-grade hardware, and the surviving design
+//! points.
+
+use sim::Duration;
+use urllc_core::decompose::decompose_worst_case;
+use urllc_core::feasibility::feasibility_table_with_deadline;
+use urllc_core::model::{ConfigUnderTest, ProcessingBudget};
+use urllc_core::worst_case::{worst_case, Direction};
+use urllc_core::{DesignSearch, SourceShare};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter = args.first().cloned();
+    let deadline_us: u64 = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(500);
+    let deadline = Duration::from_micros(deadline_us);
+
+    let table =
+        feasibility_table_with_deadline(&ProcessingBudget::zero(), deadline);
+    println!("feasibility against a {deadline} one-way deadline:\n{}", table.render());
+
+    for (name, cfg) in ConfigUnderTest::table1_columns() {
+        if let Some(f) = &filter {
+            if !name.eq_ignore_ascii_case(f) {
+                continue;
+            }
+        }
+        println!("── {name} ──────────────────────────────────────────");
+        for dir in Direction::TABLE1_ROWS {
+            let wc = worst_case(&cfg, dir, &ProcessingBudget::zero());
+            println!(
+                "{:<16} worst {:>10}  [{}]",
+                dir.label(),
+                format!("{}", wc.latency),
+                if wc.latency <= deadline { "meets" } else { "violates" }
+            );
+            for e in &wc.timeline {
+                println!("      {:<16} {:?}", e.label, e.at);
+            }
+            // Where would the time go on testbed-grade hardware?
+            let b = decompose_worst_case(&cfg, dir, &ProcessingBudget::testbed_means());
+            println!(
+                "      with testbed hardware: total {} = protocol {:.0}% + processing {:.0}% + radio {:.0}%",
+                b.total(),
+                b.fraction(SourceShare::Protocol) * 100.0,
+                b.fraction(SourceShare::Processing) * 100.0,
+                b.fraction(SourceShare::Radio) * 100.0
+            );
+        }
+    }
+
+    if filter.is_none() {
+        println!("\n{}", DesignSearch::run().render_feasible());
+    }
+}

@@ -1,0 +1,86 @@
+//! Industrial automation over private 5G — the paper's flagship URLLC use
+//! case (§1, §2: factories get TDD-only spectrum, so FDD is off the table).
+//!
+//! A motion-control loop sends a sensor reading uplink and receives an
+//! actuator command downlink every cycle; the loop is considered healthy
+//! when the one-way deadline of 0.5 ms holds with high probability. The
+//! example contrasts three deployments on the same factory floor:
+//!
+//! * the §5 feasible design — DM pattern, µ2, grant-free, PCIe radio + RT
+//!   kernel;
+//! * the same air interface on a USB radio (radio latency bottleneck, §4);
+//! * a DDDU eMBB-style pattern (protocol latency bottleneck, §5).
+//!
+//! ```sh
+//! cargo run --release -p urllc-examples --bin industrial_automation
+//! ```
+
+use phy::duplex::Duplex;
+use phy::TddConfig;
+use radio::RadioHeadConfig;
+use ran::sched::AccessMode;
+use sim::Duration;
+use stack::{PingExperiment, StackConfig};
+
+fn run_deployment(name: &str, cfg: StackConfig, cycles: u64) {
+    let mut exp = PingExperiment::new(cfg);
+    let mut res = exp.run(cycles);
+    let deadline = Duration::from_micros(500);
+    let ul_ok = res.ul.fraction_within(deadline);
+    let dl_ok = res.dl.fraction_within(deadline);
+    let ul = res.ul_summary();
+    let dl = res.dl_summary();
+    println!("{name}");
+    println!(
+        "  sensor→controller (UL): mean {:>8.1} µs  p99 {:>8.1} µs  within 0.5 ms: {:>6.2}%",
+        ul.mean_us,
+        ul.p99_us,
+        ul_ok * 100.0
+    );
+    println!(
+        "  controller→actuator(DL): mean {:>8.1} µs  p99 {:>8.1} µs  within 0.5 ms: {:>6.2}%",
+        dl.mean_us,
+        dl.p99_us,
+        dl_ok * 100.0
+    );
+    println!(
+        "  radio underruns: {}   missed grants: {}   integrity failures: {}\n",
+        res.underruns, res.missed_grants, res.integrity_failures
+    );
+}
+
+fn main() {
+    let cycles = 2_000;
+    println!("motion-control loop, {} cycles, 64 B frames\n", cycles);
+
+    // 1. The feasible design of §5.
+    run_deployment(
+        "A. DM @ 0.25 ms slots, grant-free, PCIe SDR + RT kernel (the §5 design)",
+        StackConfig::ideal_urllc_dm().with_seed(2024),
+        cycles,
+    );
+
+    // 2. Same protocol design, USB radio: the radio becomes the bottleneck.
+    let mut usb = StackConfig::ideal_urllc_dm().with_seed(2024);
+    usb.gnb_radio = RadioHeadConfig::usrp_b210(true);
+    usb.sched_lead = usb.duplex.slot_duration() * 3; // cover the ~500 µs radio
+    run_deployment("B. same air interface, USB SDR (radio latency bottleneck, §4)", usb, cycles);
+
+    // 3. An eMBB-style DDDU pattern at 0.5 ms slots: protocol bottleneck.
+    let mut embb = StackConfig::ideal_urllc_dm().with_seed(2024);
+    embb.duplex = Duplex::Tdd(TddConfig::dddu_testbed());
+    embb.access = AccessMode::GrantFree;
+    run_deployment("C. DDDU @ 0.5 ms slots (protocol latency bottleneck, §5)", embb, cycles);
+
+    println!(
+        "Takeaway: only deployment A lands in the URLLC regime (~0.5 ms \
+         one-way); the USB radio (B) and the eMBB slot pattern (C) each \
+         miss by 2–4x on their own — any single overlooked source \
+         bottlenecks the system (§4). Note that even A cannot give five \
+         nines at exactly 0.5 ms: its protocol-level worst case *equals* \
+         the deadline, so every microsecond of real processing or radio \
+         margin pushes some packets over — the paper's \"close reality or \
+         distant goal\" tension, and why §9 looks to mini-slots for \
+         headroom."
+    );
+}

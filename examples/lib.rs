@@ -1,0 +1,3 @@
+//! Support library for the `urllc-examples` package. The runnable
+//! binaries live next to this file: `quickstart`, `industrial_automation`,
+//! `audio_production`, `config_explorer`.

@@ -1,0 +1,2 @@
+//! Cross-crate integration tests for the `urllc-5g` workspace. The tests
+//! live in `tests/tests/`; this library is intentionally empty.

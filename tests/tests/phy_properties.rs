@@ -1,0 +1,109 @@
+//! Property-based tests over the PHY signal-processing additions: OFDM,
+//! equalisation and Zadoff–Chu preambles.
+
+use phy::equalize::{apply_channel, equalize, estimate_channel, ChannelTap};
+use phy::modulation::{Iq, Modulation};
+use phy::ofdm::{fft, OfdmConfig};
+use phy::prach::{superpose, xcorr_mag, ZadoffChu};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fft_linearity(
+        a in prop::collection::vec((-1.0f32..1.0, -1.0f32..1.0), 64..65),
+        b in prop::collection::vec((-1.0f32..1.0, -1.0f32..1.0), 64..65),
+    ) {
+        let to_iq = |v: &[(f32, f32)]| v.iter().map(|&(i, q)| Iq::new(i, q)).collect::<Vec<_>>();
+        let (va, vb) = (to_iq(&a), to_iq(&b));
+        // FFT(a + b) == FFT(a) + FFT(b)
+        let mut sum: Vec<Iq> =
+            va.iter().zip(&vb).map(|(x, y)| Iq::new(x.i + y.i, x.q + y.q)).collect();
+        let mut fa = va.clone();
+        let mut fb = vb.clone();
+        fft(&mut sum, false);
+        fft(&mut fa, false);
+        fft(&mut fb, false);
+        for ((s, x), y) in sum.iter().zip(&fa).zip(&fb) {
+            prop_assert!((s.i - (x.i + y.i)).abs() < 1e-2, "{s:?}");
+            prop_assert!((s.q - (x.q + y.q)).abs() < 1e-2, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn fft_ifft_identity(data in prop::collection::vec((-1.0f32..1.0, -1.0f32..1.0), 128..129)) {
+        let mut v: Vec<Iq> = data.iter().map(|&(i, q)| Iq::new(i, q)).collect();
+        let orig = v.clone();
+        fft(&mut v, false);
+        fft(&mut v, true);
+        for (a, b) in v.iter().zip(&orig) {
+            prop_assert!((a.i / 128.0 - b.i).abs() < 1e-3);
+            prop_assert!((a.q / 128.0 - b.q).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ofdm_roundtrip_any_qam(bits in prop::collection::vec(0u8..2, 144..145)) {
+        let cfg = OfdmConfig::tiny();
+        let points = Modulation::Qpsk.modulate(&bits);
+        let time = cfg.modulate(&points);
+        let back = cfg.demodulate(&time);
+        prop_assert_eq!(Modulation::Qpsk.demodulate(&back), bits);
+    }
+
+    #[test]
+    fn channel_then_equalise_is_identity(
+        mag in 0.05f32..4.0,
+        phase in -3.1f32..3.1,
+        bits in prop::collection::vec(0u8..2, 0..64),
+    ) {
+        let len = (bits.len() / 2) * 2;
+        let data = Modulation::Qpsk.modulate(&bits[..len]);
+        let h = ChannelTap::from_polar(mag, phase);
+        let mut rx = data.clone();
+        apply_channel(&mut rx, h);
+        equalize(&mut rx, h);
+        for (a, b) in rx.iter().zip(&data) {
+            prop_assert!((a.i - b.i).abs() < 1e-3 && (a.q - b.q).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn estimate_is_exact_on_any_nonzero_pilots(
+        mag in 0.1f32..3.0,
+        phase in -3.1f32..3.1,
+        n in 1usize..32,
+    ) {
+        let h = ChannelTap::from_polar(mag, phase);
+        let tx = vec![Iq::new(0.7, -0.7); n];
+        let rx: Vec<Iq> = tx.iter().map(|&s| h.apply(s)).collect();
+        let est = estimate_channel(&rx, &tx);
+        prop_assert!((est.re - h.re).abs() < 1e-3 && (est.im - h.im).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zadoff_chu_cazac_for_any_root(root in 1usize..139, shift in 0usize..139) {
+        let seq = ZadoffChu::short(root, shift).generate();
+        // Constant amplitude.
+        for s in &seq {
+            prop_assert!((s.power() - 1.0).abs() < 1e-4);
+        }
+        // Autocorrelation peak at zero lag only (spot-check three lags).
+        prop_assert!((xcorr_mag(&seq, &seq, 0) - 1.0).abs() < 1e-5);
+        for lag in [1usize, 57, 101] {
+            prop_assert!(xcorr_mag(&seq, &seq, lag) < 1e-3, "root {root} lag {lag}");
+        }
+    }
+
+    #[test]
+    fn preamble_detection_finds_what_was_sent(
+        picks in prop::collection::btree_set(0usize..8, 0..4),
+    ) {
+        let candidates: Vec<ZadoffChu> = (0..8).map(|k| ZadoffChu::short(17, k * 17)).collect();
+        let mut air = vec![Iq::new(0.0, 0.0); phy::prach::SHORT_PREAMBLE_LEN];
+        for &p in &picks {
+            superpose(&mut air, &candidates[p].generate());
+        }
+        let detected = phy::prach::detect_preambles(&air, &candidates, 0.5);
+        prop_assert_eq!(detected, picks.into_iter().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,74 @@
+//! Cross-crate QoS admission: holds each configuration's worst-case and
+//! simulated latency against the standardised 5QI delay budgets
+//! (TS 23.501) — which *services* can each design legally carry?
+
+use corenet::qos::FiveQi;
+use ran::sched::AccessMode;
+use sim::Duration;
+use stack::{PingExperiment, StackConfig};
+use urllc_core::model::{ConfigUnderTest, ProcessingBudget};
+use urllc_core::worst_case::{worst_case, Direction};
+
+/// The RAN's share of the end-to-end PDB for a private network with a
+/// co-located UPF: nearly all of it.
+const RAN_SHARE: f64 = 0.8;
+
+#[test]
+fn dm_grant_free_serves_every_delay_critical_5qi_at_protocol_level() {
+    let dm = ConfigUnderTest::TddCommon(phy::TddConfig::dm_minimal());
+    let worst_dl = worst_case(&dm, Direction::Downlink, &ProcessingBudget::zero()).latency;
+    let worst_ul = worst_case(&dm, Direction::UplinkGrantFree, &ProcessingBudget::zero()).latency;
+    for q in FiveQi::delay_critical() {
+        assert!(
+            q.admits(worst_dl, RAN_SHARE) && q.admits(worst_ul, RAN_SHARE),
+            "5QI {} (PDB {}) should admit the DM design",
+            q.value,
+            q.pdb
+        );
+    }
+}
+
+#[test]
+fn testbed_worst_case_fails_the_5ms_5qis() {
+    // The testbed's grant-based uplink worst case (DDDU, processing+radio)
+    // exceeds the 5 ms delay-critical budgets.
+    let dddu = ConfigUnderTest::TddCommon(phy::TddConfig::dddu_testbed());
+    let worst =
+        worst_case(&dddu, Direction::UplinkGrantBased, &ProcessingBudget::testbed_means()).latency;
+    for value in [85u8, 86] {
+        let q = FiveQi::by_value(value).unwrap();
+        assert!(!q.admits(worst, RAN_SHARE), "5QI {value} should reject {worst}");
+    }
+    // But the relaxed 30 ms transport 5QI (84) still admits it.
+    assert!(FiveQi::by_value(84).unwrap().admits(worst, RAN_SHARE));
+}
+
+#[test]
+fn measured_testbed_p99_admits_only_the_looser_classes() {
+    let cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(31);
+    let mut exp = PingExperiment::new(cfg);
+    let mut res = exp.run(400);
+    let p99 = Duration::from_micros_f64(res.ul.quantile_us(0.99));
+    let admitted: Vec<u8> = FiveQi::TABLE
+        .iter()
+        .filter(|q| q.admits(p99, RAN_SHARE))
+        .map(|q| q.value)
+        .collect();
+    // Voice/video-class budgets (50 ms+) admit the testbed; the 5 ms
+    // delay-critical ones must not.
+    assert!(admitted.contains(&1), "100 ms voice budget admits: {admitted:?}");
+    assert!(admitted.contains(&3), "50 ms gaming budget admits: {admitted:?}");
+    assert!(!admitted.contains(&85), "5 ms budget must reject: {admitted:?}");
+    assert!(!admitted.contains(&86), "5 ms budget must reject: {admitted:?}");
+}
+
+#[test]
+fn ideal_dm_measured_latency_serves_discrete_automation() {
+    let mut exp = PingExperiment::new(StackConfig::ideal_urllc_dm().with_seed(32));
+    let mut res = exp.run(400);
+    let p99 = Duration::from_micros_f64(res.ul.quantile_us(0.99));
+    // 5QI 82 (discrete automation, 10 ms PDB) admits with a wide margin.
+    assert!(FiveQi::by_value(82).unwrap().admits(p99, RAN_SHARE), "p99 {p99}");
+    // Even the tightest standardised budget (5 ms) admits it.
+    assert!(FiveQi::by_value(85).unwrap().admits(p99, RAN_SHARE), "p99 {p99}");
+}

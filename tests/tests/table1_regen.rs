@@ -1,0 +1,75 @@
+//! Regeneration gate for the paper's headline artifacts: Table 1 and the
+//! Fig 4 worst cases, from a cold start, through the public API only.
+
+use sim::Duration;
+use urllc_core::feasibility::{feasibility_table, feasibility_table_with_deadline, paper_table1};
+use urllc_core::model::{ConfigUnderTest, ProcessingBudget};
+use urllc_core::worst_case::{worst_case, Direction};
+
+#[test]
+fn table1_regenerates_exactly() {
+    let table = feasibility_table(&ProcessingBudget::zero());
+    assert_eq!(table.verdicts(), paper_table1());
+    // Spot-check the load-bearing numbers behind the verdicts.
+    assert_eq!(
+        table.cell("DM", Direction::Downlink).unwrap().worst.latency,
+        Duration::from_micros(500)
+    );
+    assert_eq!(
+        table.cell("DU", Direction::Downlink).unwrap().worst.latency,
+        Duration::from_micros(750)
+    );
+    assert_eq!(
+        table.cell("DM", Direction::UplinkGrantBased).unwrap().worst.latency,
+        Duration::from_millis(1)
+    );
+}
+
+#[test]
+fn fig4_headline_numbers() {
+    let dm = ConfigUnderTest::TddCommon(phy::TddConfig::dm_minimal());
+    let zero = ProcessingBudget::zero();
+    assert_eq!(worst_case(&dm, Direction::UplinkGrantFree, &zero).latency, Duration::from_micros(500));
+    assert_eq!(worst_case(&dm, Direction::Downlink, &zero).latency, Duration::from_micros(500));
+    assert!(worst_case(&dm, Direction::UplinkGrantBased, &zero).latency > Duration::from_micros(500));
+}
+
+#[test]
+fn relaxing_the_deadline_flips_verdicts_monotonically() {
+    // Every cell feasible at deadline d stays feasible at any larger d.
+    let deadlines = [250u64, 500, 750, 1_000, 2_000, 5_000];
+    let tables: Vec<_> = deadlines
+        .iter()
+        .map(|&us| feasibility_table_with_deadline(&ProcessingBudget::zero(), Duration::from_micros(us)))
+        .collect();
+    for w in tables.windows(2) {
+        for (a, b) in w[0].cells.iter().zip(w[1].cells.iter()) {
+            assert!(!a.feasible || b.feasible, "{} {:?} regressed", a.config, a.direction);
+        }
+    }
+    // At 5 ms everything passes; at 0.25 ms nothing slot-based does.
+    assert!(tables.last().unwrap().cells.iter().all(|c| c.feasible));
+    let strict = &tables[0];
+    for config in ["DU", "DM", "MU", "FDD"] {
+        assert!(!strict.cell(config, Direction::Downlink).unwrap().feasible, "{config}");
+    }
+}
+
+#[test]
+fn worst_case_is_within_one_period_plus_handshake() {
+    // Structural sanity across the whole column set: no worst case exceeds
+    // three pattern periods (SR + grant + data each cost at most one).
+    let zero = ProcessingBudget::zero();
+    for (name, cfg) in ConfigUnderTest::table1_columns() {
+        let period = cfg.analysis_period().max(cfg.slot_duration() * 2);
+        for dir in Direction::TABLE1_ROWS {
+            let wc = worst_case(&cfg, dir, &zero);
+            assert!(
+                wc.latency <= period * 3,
+                "{name} {dir:?}: {} exceeds 3 periods",
+                wc.latency
+            );
+            assert!(wc.latency > Duration::ZERO);
+        }
+    }
+}
