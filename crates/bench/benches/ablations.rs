@@ -28,7 +28,8 @@ fn ablation_slot_duration(c: &mut Criterion) {
     // µ1's 0.5 ms slots and µ0's 1 ms slots cannot.
     let deadline = Duration::from_micros(500);
     let zero = ProcessingBudget::zero();
-    for (nu, feasible) in [(Numerology::Mu0, false), (Numerology::Mu1, false), (Numerology::Mu2, true)]
+    for (nu, feasible) in
+        [(Numerology::Mu0, false), (Numerology::Mu1, false), (Numerology::Mu2, true)]
     {
         let cfg = dm_at(nu);
         let wc = worst_case(&cfg, Direction::Downlink, &zero);

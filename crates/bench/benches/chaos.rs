@@ -1,0 +1,70 @@
+//! Chaos-sweep benches: the fault-injection subsystem under load.
+//!
+//! Asserts the qualitative reliability claims of the `repro chaos` sweep
+//! (monotone deadline-miss probability in fault intensity; intensity 0
+//! byte-identical to the fault-free baseline; recovery paths deliver
+//! rather than lose) before timing the injected experiment, so a perf
+//! regression in the injector or the recovery loops shows up here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ran::sched::AccessMode;
+use sim::FaultPlan;
+use stack::{PingExperiment, StackConfig};
+use std::hint::black_box;
+
+const PINGS: u64 = 200;
+
+fn chaos_cfg(intensity: f64) -> StackConfig {
+    StackConfig::testbed_dddu(AccessMode::GrantBased, true)
+        .with_seed(6)
+        .with_faults(FaultPlan::chaos(intensity))
+}
+
+fn run_miss(intensity: f64) -> f64 {
+    let mut exp = PingExperiment::new(chaos_cfg(intensity));
+    exp.run(PINGS).attribution.miss_probability()
+}
+
+fn bench_chaos_intensity(c: &mut Criterion) {
+    // Monotonicity: more injected faults, never fewer misses.
+    let misses: Vec<f64> = [0.0, 0.2, 0.8].iter().map(|&i| run_miss(i)).collect();
+    assert!(misses[1] >= misses[0] && misses[2] >= misses[1], "{misses:?}");
+
+    // Intensity 0 is the fault-free baseline, byte for byte.
+    let base = PingExperiment::new(chaos_cfg(0.0)).run(PINGS);
+    let plain =
+        PingExperiment::new(StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(6))
+            .run(PINGS);
+    assert_eq!(base.rtt.samples_us(), plain.rtt.samples_us());
+    assert!(base.attribution.is_fault_free());
+
+    let mut g = c.benchmark_group("chaos_intensity");
+    for intensity in [0.0, 0.2, 0.8] {
+        g.bench_with_input(BenchmarkId::from_parameter(intensity), &intensity, |b, &i| {
+            b.iter(|| black_box(run_miss(black_box(i))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chaos_margin(c: &mut Criterion) {
+    // The §6 trade under chaos: the sweep runs at every margin without
+    // losing pings to anything but declared radio-link failures.
+    let mut g = c.benchmark_group("chaos_margin");
+    for slots in [1u64, 2, 3] {
+        let mut cfg = chaos_cfg(0.4);
+        cfg.sched_lead = cfg.duplex.slot_duration() * slots;
+        let total = PingExperiment::new(cfg.clone()).run(PINGS).attribution.total();
+        assert_eq!(total, PINGS, "every ping classified at margin {slots}");
+        g.bench_with_input(BenchmarkId::from_parameter(slots), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut exp = PingExperiment::new(black_box(cfg.clone()));
+                black_box(exp.run(PINGS).attribution.miss_probability())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chaos_intensity, bench_chaos_margin);
+criterion_main!(benches);

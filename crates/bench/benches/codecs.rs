@@ -46,18 +46,22 @@ fn bench_codecs(c: &mut Criterion) {
             b.iter(|| black_box(e.tx_encode(&bytes)))
         });
 
-        g.bench_with_input(BenchmarkId::new("rlc_um_segment_reassemble", size), &payload, |b, p| {
-            b.iter(|| {
-                let mut tx = RlcUmEntity::new();
-                let mut rx = RlcUmEntity::new();
-                tx.tx_sdu(Bytes::from(p.clone()));
-                let mut out = Vec::new();
-                while let Some(pdu) = tx.pull_pdu(128).expect("grant ok") {
-                    out.extend(rx.rx_pdu(&pdu).expect("rx ok"));
-                }
-                black_box(out)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("rlc_um_segment_reassemble", size),
+            &payload,
+            |b, p| {
+                b.iter(|| {
+                    let mut tx = RlcUmEntity::new();
+                    let mut rx = RlcUmEntity::new();
+                    tx.tx_sdu(Bytes::from(p.clone()));
+                    let mut out = Vec::new();
+                    while let Some(pdu) = tx.pull_pdu(128).expect("grant ok") {
+                        out.extend(rx.rx_pdu(&pdu).expect("rx ok"));
+                    }
+                    black_box(out)
+                })
+            },
+        );
 
         g.bench_with_input(BenchmarkId::new("mac_mux_demux", size), &payload, |b, p| {
             let sub = MacSubPdu::new(1, Bytes::from(p.clone()));

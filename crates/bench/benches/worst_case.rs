@@ -20,7 +20,9 @@ fn bench_worst_case(c: &mut Criterion) {
         worst_case(&dm, Direction::UplinkGrantFree, &zero).latency,
         Duration::from_micros(500)
     );
-    assert!(worst_case(&dm, Direction::UplinkGrantBased, &zero).latency > Duration::from_micros(500));
+    assert!(
+        worst_case(&dm, Direction::UplinkGrantBased, &zero).latency > Duration::from_micros(500)
+    );
 
     let mut g = c.benchmark_group("fig4");
     for dir in Direction::TABLE1_ROWS {

@@ -49,6 +49,7 @@ fn main() {
         "rach" => rach(),
         "sixg" => sixg(),
         "coexist" => coexist(),
+        "chaos" => chaos(pings),
         "all" => {
             table1();
             table2(pings);
@@ -67,10 +68,11 @@ fn main() {
             rach();
             sixg();
             coexist();
+            chaos(pings);
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|harq|rach|sixg|coexist|all [--pings N]");
+            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|harq|rach|sixg|coexist|chaos|all [--pings N]");
             std::process::exit(2);
         }
     }
@@ -130,13 +132,7 @@ fn table2(pings: u64) {
     );
     let mut rows = Vec::new();
     for ((name, st), (_, pm, ps)) in measured.iter().zip(paper.iter()) {
-        println!(
-            "{name:<8} {:>12.2} {:>10.2}   {:>12.2} {:>10.2}",
-            st.mean(),
-            st.std(),
-            pm,
-            ps
-        );
+        println!("{name:<8} {:>12.2} {:>10.2}   {:>12.2} {:>10.2}", st.mean(), st.std(), pm, ps);
         rows.push(vec![
             (*name).into(),
             format!("{:.2}", st.mean()),
@@ -156,7 +152,11 @@ fn table2(pings: u64) {
 fn fig1() {
     banner("Fig 1 — TDD configuration types");
     let dddu = phy::TddConfig::dddu_testbed();
-    println!("(a) Common Configuration   pattern {} @ {} slots:", dddu.letters(), dddu.numerology());
+    println!(
+        "(a) Common Configuration   pattern {} @ {} slots:",
+        dddu.letters(),
+        dddu.numerology()
+    );
     print!("    ");
     for s in 0..dddu.slots_per_period() {
         print!("[{}]", dddu.slot_kind(s).letter());
@@ -249,7 +249,13 @@ fn fig5() {
     }
     print!(
         "{}",
-        ascii_series("submission latency vs samples", "number of samples", "latency µs", &series, 60)
+        ascii_series(
+            "submission latency vs samples",
+            "number of samples",
+            "latency µs",
+            &series,
+            60
+        )
     );
     save("fig5.csv", &to_csv(&["interface", "samples", "latency_us"], &rows));
 }
@@ -258,7 +264,9 @@ fn fig5() {
 fn fig6(pings: u64) {
     banner("Fig 6 — one-way latency distributions (testbed DDDU)");
     let mut rows = Vec::new();
-    for (panel, access) in [("(a) grant-based", AccessMode::GrantBased), ("(b) grant-free", AccessMode::GrantFree)] {
+    for (panel, access) in
+        [("(a) grant-based", AccessMode::GrantBased), ("(b) grant-free", AccessMode::GrantFree)]
+    {
         let cfg = StackConfig::testbed_dddu(access, true).with_seed(6);
         let mut exp = PingExperiment::new(cfg);
         let mut res = exp.run(pings);
@@ -267,12 +275,7 @@ fn fig6(pings: u64) {
             let pairs: Vec<(f64, f64)> = h.probabilities().collect();
             print!(
                 "{}",
-                ascii_histogram(
-                    &format!("{panel} {dirname}"),
-                    "one-way latency [ms]",
-                    &pairs,
-                    40
-                )
+                ascii_histogram(&format!("{panel} {dirname}"), "one-way latency [ms]", &pairs, 40)
             );
             for (x, p) in &pairs {
                 rows.push(vec![panel.into(), dirname.into(), format!("{x:.2}"), format!("{p:.5}")]);
@@ -429,7 +432,10 @@ fn rach() {
         "collision-free RACH worst case: {}  (vs the 0.5 ms URLLC budget)",
         cfg.uncontended_worst_case()
     );
-    println!("{:>6} {:>10} {:>12} {:>14} {:>10}", "UEs", "success", "collisions", "mean lat [ms]", "attempts");
+    println!(
+        "{:>6} {:>10} {:>12} {:>14} {:>10}",
+        "UEs", "success", "collisions", "mean lat [ms]", "attempts"
+    );
     for n in [1usize, 8, 32, 128, 512, 2048] {
         let mut s = ran::simulate_contention(&cfg, n, 17);
         let mean = if s.latency.is_empty() { 0.0 } else { s.latency.summary().mean_us / 1_000.0 };
@@ -453,29 +459,28 @@ fn sixg() {
     let candidates: Vec<(String, ConfigUnderTest)> = vec![
         ("DM @ u2 (FR1 floor)".into(), ConfigUnderTest::TddCommon(phy::TddConfig::dm_minimal())),
         ("FDD @ u2".into(), ConfigUnderTest::Fdd { numerology: Numerology::Mu2 }),
-        ("mini-slot @ u2".into(), ConfigUnderTest::MiniSlot(MiniSlotConfig::new(Numerology::Mu2, MiniSlotLen::Two))),
+        (
+            "mini-slot @ u2".into(),
+            ConfigUnderTest::MiniSlot(MiniSlotConfig::new(Numerology::Mu2, MiniSlotLen::Two)),
+        ),
         ("FDD @ u3 (FR2)".into(), ConfigUnderTest::Fdd { numerology: Numerology::Mu3 }),
-        ("mini-slot @ u3 (FR2)".into(), ConfigUnderTest::MiniSlot(MiniSlotConfig::new(Numerology::Mu3, MiniSlotLen::Two))),
+        (
+            "mini-slot @ u3 (FR2)".into(),
+            ConfigUnderTest::MiniSlot(MiniSlotConfig::new(Numerology::Mu3, MiniSlotLen::Two)),
+        ),
         ("FDD @ u5 (FR2)".into(), ConfigUnderTest::Fdd { numerology: Numerology::Mu5 }),
-        ("mini-slot @ u6 (FR2)".into(), ConfigUnderTest::MiniSlot(MiniSlotConfig::new(Numerology::Mu6, MiniSlotLen::Two))),
+        (
+            "mini-slot @ u6 (FR2)".into(),
+            ConfigUnderTest::MiniSlot(MiniSlotConfig::new(Numerology::Mu6, MiniSlotLen::Two)),
+        ),
     ];
     println!("{:<24} {:>14} {:>14} {:>14}", "configuration", "GB-UL", "GF-UL", "DL");
     for (name, cfg) in &candidates {
         let w = |d| worst_case(cfg, d, &ProcessingBudget::zero()).latency;
-        let row = [
-            w(Direction::UplinkGrantBased),
-            w(Direction::UplinkGrantFree),
-            w(Direction::Downlink),
-        ];
-        let mark = |l: Duration| {
-            format!("{}{}", l, if l <= deadline { " +" } else { " x" })
-        };
-        println!(
-            "{name:<24} {:>14} {:>14} {:>14}",
-            mark(row[0]),
-            mark(row[1]),
-            mark(row[2])
-        );
+        let row =
+            [w(Direction::UplinkGrantBased), w(Direction::UplinkGrantFree), w(Direction::Downlink)];
+        let mark = |l: Duration| format!("{}{}", l, if l <= deadline { " +" } else { " x" });
+        println!("{name:<24} {:>14} {:>14} {:>14}", mark(row[0]), mark(row[1]), mark(row[2]));
     }
     println!(
         "(slot-based FR1 cannot reach 0.1 ms; only FR2 numerologies or sub-slot\n\
@@ -492,7 +497,10 @@ fn coexist() {
     // Below this eMBB load the leftover capacity still fits one URLLC
     // packet, so the Queue policy remains servable at all.
     let queue_limit = 0.86;
-    println!("{:>8} {:>18} {:>18} {:>16}", "load", "queue mean [us]", "preempt mean [us]", "eMBB lost [B]");
+    println!(
+        "{:>8} {:>18} {:>18} {:>16}",
+        "load", "queue mean [us]", "preempt mean [us]", "eMBB lost [B]"
+    );
     for &l in &loads {
         let queue_mean = if l <= queue_limit {
             let q = &mut coexistence_sweep(CoexistencePolicy::Queue, &[l], 2_000, 21)[0];
@@ -508,6 +516,124 @@ fn coexist() {
         );
     }
     println!("(queueing behind eMBB erodes the URLLC budget as the cell fills; preemption\n keeps URLLC flat and bills eMBB instead — the §1 coexistence literature's trade)");
+}
+
+/// Chaos reliability sweep: deadline-miss probability under the unified
+/// fault-injection plan, across fault intensity × scheduler margin, with a
+/// first-order cross-check against [`urllc_core::reliability::ChaosMissModel`]
+/// and a byte-identity check of the intensity-0 column against the fault-free
+/// baseline.
+fn chaos(pings: u64) {
+    banner("Chaos — deadline misses under fault injection (intensity × margin)");
+    let n = (pings / 5).max(200);
+    let intensities = [0.0, 0.05, 0.1, 0.2, 0.4, 0.8];
+    let margins: [u64; 3] = [1, 2, 3];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut monotone = true;
+    for &m in &margins {
+        let mut base_cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(6);
+        base_cfg.sched_lead = base_cfg.duplex.slot_duration() * m;
+        let deadline = base_cfg.deadline;
+        let period = base_cfg.duplex.pattern_period();
+        let margin_us = base_cfg.sched_lead.as_micros_f64();
+        // Filled from the intensity-0 run of this margin.
+        let mut base_miss = 0.0;
+        let mut shift_window = 0.0;
+        let mut prev_miss = -1.0;
+        for &intensity in &intensities {
+            let plan = sim::FaultPlan::chaos(intensity);
+            let cfg = base_cfg.clone().with_faults(plan.clone());
+            let mut exp = PingExperiment::new(cfg.clone());
+            let mut res = exp.run(n);
+            let att = res.attribution;
+            let miss = att.miss_probability();
+            if intensity == 0.0 {
+                base_miss = miss;
+                if m == 2 {
+                    // Identity check against a run of the untouched config —
+                    // before fraction_within() below sorts the recorder.
+                    let mut plain = PingExperiment::new(base_cfg.clone());
+                    let plain_res = plain.run(n);
+                    let identical = plain_res.rtt.samples_us() == res.rtt.samples_us()
+                        && plain_res.ul.samples_us() == res.ul.samples_us()
+                        && plain_res.dl.samples_us() == res.dl.samples_us()
+                        && res.attribution.is_fault_free();
+                    println!(
+                        "intensity 0 reproduces the fault-free baseline byte for byte: {}",
+                        if identical { "YES" } else { "NO" }
+                    );
+                }
+                // Fraction of baseline pings one pattern-period of extra
+                // protocol delay (SR retry, withheld grant) would push late.
+                shift_window = res.rtt.fraction_within(deadline)
+                    - res.rtt.fraction_within(deadline.saturating_sub(period));
+            }
+            if miss + 1e-9 < prev_miss {
+                monotone = false;
+            }
+            prev_miss = miss;
+            let p_protocol =
+                plan.sr_loss.map_or(0.0, |g| g.prob) + plan.grant_withhold.map_or(0.0, |g| g.prob);
+            let model = urllc_core::ChaosMissModel {
+                base_miss,
+                burst_loss: plan.channel_burst.map_or(0.0, |ge| ge.mean_loss()),
+                harq_budget: base_cfg.harq_max_tx,
+                protocol_miss: (p_protocol * shift_window).min(1.0),
+            };
+            let mean_rtt_ms = res.rtt.summary().mean_us / 1000.0;
+            println!(
+                "margin {m} slots  intensity {intensity:>4.2}: miss {miss:.4} (model {:.4})  \
+                 on-time {:>4} late {:>3} lost {:>3}  rlf {:>2}  mean RTT {mean_rtt_ms:.2} ms",
+                model.miss_probability(),
+                att.on_time,
+                att.late,
+                att.lost,
+                res.rlf.len(),
+            );
+            rows.push(vec![
+                format!("{intensity}"),
+                m.to_string(),
+                format!("{margin_us:.0}"),
+                n.to_string(),
+                format!("{miss:.6}"),
+                format!("{:.6}", model.miss_probability()),
+                att.on_time.to_string(),
+                att.late.to_string(),
+                att.lost.to_string(),
+                res.rlf.len().to_string(),
+                res.sr_retx.to_string(),
+                res.rach_recoveries.to_string(),
+                res.grants_withheld.to_string(),
+                format!("{mean_rtt_ms:.3}"),
+            ]);
+        }
+    }
+    println!(
+        "miss probability monotone in intensity at every margin: {}",
+        if monotone { "YES" } else { "NO" }
+    );
+    save(
+        "chaos.csv",
+        &to_csv(
+            &[
+                "intensity",
+                "margin_slots",
+                "margin_us",
+                "pings",
+                "miss_prob",
+                "model_miss",
+                "on_time",
+                "late",
+                "lost",
+                "rlf",
+                "sr_retx",
+                "rach_recoveries",
+                "grants_withheld",
+                "mean_rtt_ms",
+            ],
+            &rows,
+        ),
+    );
 }
 
 fn save(name: &str, contents: &str) {

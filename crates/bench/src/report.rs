@@ -95,10 +95,8 @@ mod tests {
 
     #[test]
     fn csv_roundtrip_shape() {
-        let csv = to_csv(
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
-        );
+        let csv =
+            to_csv(&["a", "b"], &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]]);
         assert_eq!(csv, "a,b\n1,2\n3,4\n");
     }
 

@@ -8,6 +8,7 @@
 //! packet losses that the RLC/HARQ machinery must recover, paying latency.
 
 use serde::{Deserialize, Serialize};
+use sim::faults::GeChain;
 use sim::SimRng;
 
 /// Configuration of an FR1 link.
@@ -70,10 +71,28 @@ impl Fr1LinkConfig {
     }
 }
 
+/// One packet's loss outcome, split by mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossSample {
+    /// The packet was lost (by either mechanism).
+    pub lost: bool,
+    /// The burst overlay (alone) caused the loss — `false` when the base
+    /// SNR/PER draw already lost the packet.
+    pub burst: bool,
+}
+
 /// A stateful FR1 link.
+///
+/// The base loss process is memoryless (per-packet SNR draw); an optional
+/// Gilbert–Elliott *burst overlay* ([`Fr1Link::set_burst`]) adds the
+/// correlated loss that interference and deep fades produce. The overlay
+/// chain carries its own RNG stream, so enabling it never perturbs the
+/// base draws — a link with the overlay disabled is byte-identical to one
+/// that never had it.
 #[derive(Debug, Clone)]
 pub struct Fr1Link {
     config: Fr1LinkConfig,
+    burst: Option<GeChain>,
     transmissions: u64,
     losses: u64,
 }
@@ -81,7 +100,23 @@ pub struct Fr1Link {
 impl Fr1Link {
     /// Creates a link.
     pub fn new(config: Fr1LinkConfig) -> Fr1Link {
-        Fr1Link { config, transmissions: 0, losses: 0 }
+        Fr1Link { config, burst: None, transmissions: 0, losses: 0 }
+    }
+
+    /// Installs a Gilbert–Elliott burst-loss overlay.
+    pub fn set_burst(&mut self, chain: GeChain) {
+        self.burst = Some(chain);
+    }
+
+    /// Builder form of [`Fr1Link::set_burst`].
+    pub fn with_burst(mut self, chain: GeChain) -> Fr1Link {
+        self.set_burst(chain);
+        self
+    }
+
+    /// The burst overlay, if installed.
+    pub fn burst(&self) -> Option<&GeChain> {
+        self.burst.as_ref()
     }
 
     /// The link configuration.
@@ -104,13 +139,26 @@ impl Fr1Link {
     /// Simulates one packet transmission; returns `true` when the packet is
     /// lost.
     pub fn packet_lost(&mut self, rng: &mut SimRng) -> bool {
+        self.sample_loss(rng).lost
+    }
+
+    /// Simulates one packet transmission, reporting which mechanism lost
+    /// it. The base SNR/PER draw always runs (it consumes `rng` exactly as
+    /// [`Fr1Link::packet_lost`] always has); the overlay chain advances on
+    /// its own stream afterwards.
+    pub fn sample_loss(&mut self, rng: &mut SimRng) -> LossSample {
         self.transmissions += 1;
         let snr = self.sample_snr_db(rng);
-        let lost = rng.chance(self.config.per_at_snr(snr));
+        let base_lost = rng.chance(self.config.per_at_snr(snr));
+        let burst_lost = match self.burst.as_mut() {
+            Some(chain) => chain.step(),
+            None => false,
+        };
+        let lost = base_lost || burst_lost;
         if lost {
             self.losses += 1;
         }
-        lost
+        LossSample { lost, burst: burst_lost && !base_lost }
     }
 
     /// Observed loss fraction so far.
@@ -188,6 +236,59 @@ mod tests {
             good.packet_lost(&mut rng_g);
         }
         assert!(edge.observed_loss_rate() > 10.0 * good.observed_loss_rate());
+    }
+
+    #[test]
+    fn burst_overlay_adds_correlated_loss_without_touching_base_draws() {
+        use sim::faults::{GeChain, GilbertElliott};
+        let params =
+            GilbertElliott { p_enter_bad: 0.05, p_exit_bad: 0.3, loss_good: 0.0, loss_bad: 0.9 };
+        let master = SimRng::from_seed(4);
+        let mut plain = Fr1Link::new(Fr1LinkConfig::indoor_good());
+        let mut bursty = Fr1Link::new(Fr1LinkConfig::indoor_good())
+            .with_burst(GeChain::new(params, master.stream("burst")));
+        let mut rng_p = SimRng::from_seed(4).stream("air");
+        let mut rng_b = SimRng::from_seed(4).stream("air");
+        let mut base_only = 0u32;
+        let mut burst_only = 0u32;
+        for _ in 0..50_000 {
+            let p = plain.sample_loss(&mut rng_p);
+            let b = bursty.sample_loss(&mut rng_b);
+            // Overlay draws come from the chain's own stream: the base
+            // outcome is identical packet-by-packet.
+            assert_eq!(b.lost && !b.burst, p.lost, "base loss perturbed by overlay");
+            base_only += u32::from(p.lost);
+            burst_only += u32::from(b.burst);
+        }
+        assert!(
+            burst_only > 10 * base_only.max(1),
+            "overlay dominated: {burst_only} vs {base_only}"
+        );
+        let expected = params.mean_loss();
+        let observed = burst_only as f64 / 50_000.0;
+        assert!(
+            (observed - expected).abs() < 0.02,
+            "burst loss {observed:.3} vs stationary {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn lossless_link_with_burst_loses_only_bursts() {
+        use sim::faults::{GeChain, GilbertElliott};
+        let params =
+            GilbertElliott { p_enter_bad: 0.1, p_exit_bad: 0.4, loss_good: 0.0, loss_bad: 1.0 };
+        let master = SimRng::from_seed(5);
+        let mut link = Fr1Link::new(Fr1LinkConfig::lossless())
+            .with_burst(GeChain::new(params, master.stream("burst")));
+        let mut rng = SimRng::from_seed(5);
+        let mut losses = 0u32;
+        for _ in 0..10_000 {
+            let s = link.sample_loss(&mut rng);
+            assert_eq!(s.lost, s.burst, "lossless base cannot lose packets");
+            losses += u32::from(s.lost);
+        }
+        assert!(losses > 500, "burst overlay should fire: {losses}");
+        assert!(link.observed_loss_rate() > 0.0);
     }
 
     #[test]

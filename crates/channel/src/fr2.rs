@@ -92,8 +92,7 @@ impl Fr2Link {
                 BlockageState::Blocked => (BlockageState::LineOfSight, self.config.mean_los),
             };
             self.state = next_state;
-            let dwell = sim::Dist::Exponential { mean }.sample(rng)
-                .max(Duration::from_nanos(1)); // guarantee forward progress
+            let dwell = sim::Dist::Exponential { mean }.sample(rng).max(Duration::from_nanos(1)); // guarantee forward progress
             self.state_until += dwell;
         }
     }
@@ -148,10 +147,10 @@ impl BlockageTrace {
         while self.toggles.last().is_none_or(|&last| last <= t) {
             let idx = self.toggles.len();
             // Even indices end LoS dwells, odd indices end blockages.
-            let mean = if idx.is_multiple_of(2) { self.config.mean_los } else { self.config.mean_blocked };
-            let dwell = sim::Dist::Exponential { mean }
-                .sample(&mut self.rng)
-                .max(Duration::from_nanos(1));
+            let mean =
+                if idx.is_multiple_of(2) { self.config.mean_los } else { self.config.mean_blocked };
+            let dwell =
+                sim::Dist::Exponential { mean }.sample(&mut self.rng).max(Duration::from_nanos(1));
             let base = self.toggles.last().copied().unwrap_or(Instant::ZERO);
             self.toggles.push(base + dwell);
         }

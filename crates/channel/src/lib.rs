@@ -19,6 +19,6 @@ pub mod fr1;
 pub mod fr2;
 pub mod propagation;
 
-pub use fr1::{Fr1Link, Fr1LinkConfig};
+pub use fr1::{Fr1Link, Fr1LinkConfig, LossSample};
 pub use fr2::{BlockageState, BlockageTrace, Fr2Link, Fr2LinkConfig};
 pub use propagation::propagation_delay;

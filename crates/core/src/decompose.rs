@@ -94,9 +94,7 @@ fn processing_spent(dir: Direction, b: &ProcessingBudget) -> Duration {
     match dir {
         Direction::Downlink => b.gnb_tx_prep + b.ue_rx,
         Direction::UplinkGrantFree => b.ue_tx_prep + b.gnb_rx,
-        Direction::UplinkGrantBased => {
-            b.ue_tx_prep + b.sr_decode + b.grant_decode + b.gnb_rx
-        }
+        Direction::UplinkGrantBased => b.ue_tx_prep + b.sr_decode + b.grant_decode + b.gnb_rx,
     }
 }
 

@@ -238,10 +238,7 @@ mod tests {
     fn usb_radio_is_never_feasible() {
         // §7: the ~500 µs USB radio alone exceeds the one-way budget.
         let s = DesignSearch::run();
-        assert!(s
-            .feasible()
-            .iter()
-            .all(|p| p.radio != RadioPlatform::UsbSdr));
+        assert!(s.feasible().iter().all(|p| p.radio != RadioPlatform::UsbSdr));
     }
 
     #[test]

@@ -162,10 +162,8 @@ mod tests {
     fn six_g_deadline_kills_slot_based_configs() {
         // 6G's 0.1 ms one-way target (§1): only sub-slot scheduling can
         // survive at µ2; every slot-aligned configuration fails.
-        let table = feasibility_table_with_deadline(
-            &ProcessingBudget::zero(),
-            Duration::from_micros(100),
-        );
+        let table =
+            feasibility_table_with_deadline(&ProcessingBudget::zero(), Duration::from_micros(100));
         for config in ["DU", "DM", "MU", "FDD"] {
             for dir in Direction::TABLE1_ROWS {
                 assert!(!table.cell(config, dir).unwrap().feasible, "{config} {dir:?}");

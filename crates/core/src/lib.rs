@@ -39,5 +39,5 @@ pub use design::{DesignPoint, DesignSearch, DesignVerdict};
 pub use feasibility::{feasibility_table, paper_table1, FeasibilityTable};
 pub use formats::{format_survey, FormatVerdict};
 pub use model::{AccessScheme, ConfigUnderTest, ProcessingBudget};
-pub use reliability::{deadline_miss_probability, margin_sweep, ReliabilityPoint};
+pub use reliability::{deadline_miss_probability, margin_sweep, ChaosMissModel, ReliabilityPoint};
 pub use worst_case::{worst_case, Direction, WorstCase};

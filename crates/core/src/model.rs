@@ -162,10 +162,7 @@ impl ConfigUnderTest {
             }
         }
         if let Some(b) = begin {
-            runs.push((
-                numerology.symbol_offset(b),
-                numerology.symbol_offset(SYMBOLS_PER_SLOT),
-            ));
+            runs.push((numerology.symbol_offset(b), numerology.symbol_offset(SYMBOLS_PER_SLOT)));
         }
         runs
     }
@@ -361,7 +358,10 @@ mod tests {
         let cfg = ConfigUnderTest::repeating_format(45);
         let nu = Numerology::Mu2;
         let ul = cfg.ul_portions_in_slot(0);
-        assert_eq!(ul, vec![(Instant::ZERO + nu.symbol_offset(10), Instant::ZERO + nu.symbol_offset(14))]);
+        assert_eq!(
+            ul,
+            vec![(Instant::ZERO + nu.symbol_offset(10), Instant::ZERO + nu.symbol_offset(14))]
+        );
         let dl = cfg.dl_portions_in_slot(0);
         assert_eq!(dl, vec![(Instant::ZERO, Instant::ZERO + nu.symbol_offset(6))]);
         // Repeats every slot; period is one slot.

@@ -150,7 +150,10 @@ mod tests {
 
     #[test]
     fn rejects_short_and_bad_version() {
-        assert_eq!(GtpuHeader::decode(&Bytes::from_static(&[0x30])).unwrap_err(), GtpuError::Truncated);
+        assert_eq!(
+            GtpuHeader::decode(&Bytes::from_static(&[0x30])).unwrap_err(),
+            GtpuError::Truncated
+        );
         let mut pkt = GtpuHeader::gpdu(1).encode(b"x").to_vec();
         pkt[0] = 0x50; // version 2
         assert_eq!(GtpuHeader::decode(&Bytes::from(pkt)).unwrap_err(), GtpuError::BadVersion);

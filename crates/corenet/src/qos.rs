@@ -45,21 +45,126 @@ impl FiveQi {
     /// A representative subset of TS 23.501 Table 5.7.4-1: the classic
     /// GBR/non-GBR rows plus the complete delay-critical GBR family.
     pub const TABLE: &'static [FiveQi] = &[
-        FiveQi { value: 1, resource_type: ResourceType::Gbr, priority: 20, pdb: Duration::from_millis(100), per_exponent: -2, example: "conversational voice" },
-        FiveQi { value: 2, resource_type: ResourceType::Gbr, priority: 40, pdb: Duration::from_millis(150), per_exponent: -3, example: "conversational video" },
-        FiveQi { value: 3, resource_type: ResourceType::Gbr, priority: 30, pdb: Duration::from_millis(50), per_exponent: -3, example: "real-time gaming" },
-        FiveQi { value: 4, resource_type: ResourceType::Gbr, priority: 50, pdb: Duration::from_millis(300), per_exponent: -6, example: "non-conversational video" },
-        FiveQi { value: 5, resource_type: ResourceType::NonGbr, priority: 10, pdb: Duration::from_millis(100), per_exponent: -6, example: "IMS signalling" },
-        FiveQi { value: 7, resource_type: ResourceType::NonGbr, priority: 70, pdb: Duration::from_millis(100), per_exponent: -3, example: "voice/video/interactive" },
-        FiveQi { value: 9, resource_type: ResourceType::NonGbr, priority: 90, pdb: Duration::from_millis(300), per_exponent: -6, example: "default bearer" },
-        FiveQi { value: 65, resource_type: ResourceType::Gbr, priority: 7, pdb: Duration::from_millis(75), per_exponent: -2, example: "mission-critical push-to-talk" },
-        FiveQi { value: 79, resource_type: ResourceType::NonGbr, priority: 65, pdb: Duration::from_millis(50), per_exponent: -2, example: "V2X messages" },
-        FiveQi { value: 80, resource_type: ResourceType::NonGbr, priority: 68, pdb: Duration::from_millis(10), per_exponent: -6, example: "low-latency eMBB / AR" },
-        FiveQi { value: 82, resource_type: ResourceType::DelayCriticalGbr, priority: 19, pdb: Duration::from_millis(10), per_exponent: -4, example: "discrete automation" },
-        FiveQi { value: 83, resource_type: ResourceType::DelayCriticalGbr, priority: 22, pdb: Duration::from_millis(10), per_exponent: -4, example: "discrete automation (small)" },
-        FiveQi { value: 84, resource_type: ResourceType::DelayCriticalGbr, priority: 24, pdb: Duration::from_millis(30), per_exponent: -5, example: "intelligent transport" },
-        FiveQi { value: 85, resource_type: ResourceType::DelayCriticalGbr, priority: 21, pdb: Duration::from_millis(5), per_exponent: -5, example: "electricity distribution" },
-        FiveQi { value: 86, resource_type: ResourceType::DelayCriticalGbr, priority: 18, pdb: Duration::from_millis(5), per_exponent: -4, example: "V2X advanced driving" },
+        FiveQi {
+            value: 1,
+            resource_type: ResourceType::Gbr,
+            priority: 20,
+            pdb: Duration::from_millis(100),
+            per_exponent: -2,
+            example: "conversational voice",
+        },
+        FiveQi {
+            value: 2,
+            resource_type: ResourceType::Gbr,
+            priority: 40,
+            pdb: Duration::from_millis(150),
+            per_exponent: -3,
+            example: "conversational video",
+        },
+        FiveQi {
+            value: 3,
+            resource_type: ResourceType::Gbr,
+            priority: 30,
+            pdb: Duration::from_millis(50),
+            per_exponent: -3,
+            example: "real-time gaming",
+        },
+        FiveQi {
+            value: 4,
+            resource_type: ResourceType::Gbr,
+            priority: 50,
+            pdb: Duration::from_millis(300),
+            per_exponent: -6,
+            example: "non-conversational video",
+        },
+        FiveQi {
+            value: 5,
+            resource_type: ResourceType::NonGbr,
+            priority: 10,
+            pdb: Duration::from_millis(100),
+            per_exponent: -6,
+            example: "IMS signalling",
+        },
+        FiveQi {
+            value: 7,
+            resource_type: ResourceType::NonGbr,
+            priority: 70,
+            pdb: Duration::from_millis(100),
+            per_exponent: -3,
+            example: "voice/video/interactive",
+        },
+        FiveQi {
+            value: 9,
+            resource_type: ResourceType::NonGbr,
+            priority: 90,
+            pdb: Duration::from_millis(300),
+            per_exponent: -6,
+            example: "default bearer",
+        },
+        FiveQi {
+            value: 65,
+            resource_type: ResourceType::Gbr,
+            priority: 7,
+            pdb: Duration::from_millis(75),
+            per_exponent: -2,
+            example: "mission-critical push-to-talk",
+        },
+        FiveQi {
+            value: 79,
+            resource_type: ResourceType::NonGbr,
+            priority: 65,
+            pdb: Duration::from_millis(50),
+            per_exponent: -2,
+            example: "V2X messages",
+        },
+        FiveQi {
+            value: 80,
+            resource_type: ResourceType::NonGbr,
+            priority: 68,
+            pdb: Duration::from_millis(10),
+            per_exponent: -6,
+            example: "low-latency eMBB / AR",
+        },
+        FiveQi {
+            value: 82,
+            resource_type: ResourceType::DelayCriticalGbr,
+            priority: 19,
+            pdb: Duration::from_millis(10),
+            per_exponent: -4,
+            example: "discrete automation",
+        },
+        FiveQi {
+            value: 83,
+            resource_type: ResourceType::DelayCriticalGbr,
+            priority: 22,
+            pdb: Duration::from_millis(10),
+            per_exponent: -4,
+            example: "discrete automation (small)",
+        },
+        FiveQi {
+            value: 84,
+            resource_type: ResourceType::DelayCriticalGbr,
+            priority: 24,
+            pdb: Duration::from_millis(30),
+            per_exponent: -5,
+            example: "intelligent transport",
+        },
+        FiveQi {
+            value: 85,
+            resource_type: ResourceType::DelayCriticalGbr,
+            priority: 21,
+            pdb: Duration::from_millis(5),
+            per_exponent: -5,
+            example: "electricity distribution",
+        },
+        FiveQi {
+            value: 86,
+            resource_type: ResourceType::DelayCriticalGbr,
+            priority: 18,
+            pdb: Duration::from_millis(5),
+            per_exponent: -4,
+            example: "V2X advanced driving",
+        },
     ];
 
     /// Looks up a 5QI by value.

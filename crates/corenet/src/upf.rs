@@ -111,8 +111,7 @@ impl Upf {
     /// Downlink: takes a data-network packet for `ue_addr`, returns the N3
     /// packet to send to the gNB.
     pub fn downlink(&mut self, ue_addr: u32, payload: &Bytes) -> Result<Bytes, UpfError> {
-        let session =
-            self.by_ue.get(&ue_addr).copied().ok_or(UpfError::UnknownUe { ue_addr })?;
+        let session = self.by_ue.get(&ue_addr).copied().ok_or(UpfError::UnknownUe { ue_addr })?;
         self.forwarded.1 += 1;
         Ok(GtpuHeader::gpdu(session.dl_teid).encode(payload))
     }

@@ -229,7 +229,7 @@ mod tests {
         );
         assert!(err.is_ok());
         let b = Band::by_name("n257").unwrap(); // FR2
-        // µ2 TDD config is valid in FR2 as well (µ2 overlaps both ranges).
+                                                // µ2 TDD config is valid in FR2 as well (µ2 overlaps both ranges).
         assert!(Duplex::tdd_on_band(b, TddConfig::dm_minimal()).is_ok());
         // FDD with µ0 on an FR2 band: band is TDD-only anyway.
         assert!(Duplex::fdd_on_band(b, Numerology::Mu0).is_err());
@@ -266,7 +266,10 @@ mod tests {
         let expected =
             Instant::from_micros(250) + Numerology::Mu2.symbol_offset(SYMBOLS_PER_SLOT - 6);
         assert_eq!(op.tx_start, expected);
-        assert_eq!(op.tx_duration, Numerology::Mu2.slot_duration() - Numerology::Mu2.symbol_offset(8));
+        assert_eq!(
+            op.tx_duration,
+            Numerology::Mu2.slot_duration() - Numerology::Mu2.symbol_offset(8)
+        );
     }
 
     #[test]
@@ -288,7 +291,10 @@ mod tests {
 
     #[test]
     fn pattern_period() {
-        assert_eq!(Duplex::Tdd(TddConfig::dddu_testbed()).pattern_period(), Duration::from_millis(2));
+        assert_eq!(
+            Duplex::Tdd(TddConfig::dddu_testbed()).pattern_period(),
+            Duration::from_millis(2)
+        );
         assert_eq!(
             Duplex::Fdd { numerology: Numerology::Mu1 }.pattern_period(),
             Duration::from_micros(500)

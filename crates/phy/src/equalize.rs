@@ -47,10 +47,7 @@ impl ChannelTap {
     pub fn invert(self, y: Iq) -> Iq {
         let m = self.mag2();
         assert!(m > f32::EPSILON, "cannot equalise a zero channel tap");
-        Iq::new(
-            (self.re * y.i + self.im * y.q) / m,
-            (self.re * y.q - self.im * y.i) / m,
-        )
+        Iq::new((self.re * y.i + self.im * y.q) / m, (self.re * y.q - self.im * y.i) / m)
     }
 }
 

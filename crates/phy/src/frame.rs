@@ -165,10 +165,7 @@ mod tests {
     fn next_slot_boundary_ceiling_semantics() {
         let clk = SlotClock::new(Numerology::Mu1);
         assert_eq!(clk.next_slot_boundary(Instant::ZERO), Instant::ZERO);
-        assert_eq!(
-            clk.next_slot_boundary(Instant::from_nanos(1)),
-            Instant::from_micros(500)
-        );
+        assert_eq!(clk.next_slot_boundary(Instant::from_nanos(1)), Instant::from_micros(500));
     }
 
     #[test]

@@ -85,9 +85,7 @@ impl MiniSlotConfig {
         (0..self.mini_slots_per_slot())
             .map(|i| {
                 slot_start
-                    + self
-                        .numerology
-                        .symbol_offset(self.control_symbols + i * self.len.symbols())
+                    + self.numerology.symbol_offset(self.control_symbols + i * self.len.symbols())
             })
             .collect()
     }

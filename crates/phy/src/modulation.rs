@@ -90,10 +90,7 @@ impl Modulation {
             }
             Modulation::Qam16 => {
                 let k = 1.0 / 10f32.sqrt();
-                Iq::new(
-                    k * s(bits[0]) * (2.0 - s(bits[2])),
-                    k * s(bits[1]) * (2.0 - s(bits[3])),
-                )
+                Iq::new(k * s(bits[0]) * (2.0 - s(bits[2])), k * s(bits[1]) * (2.0 - s(bits[3])))
             }
             Modulation::Qam64 => {
                 let k = 1.0 / 42f32.sqrt();
@@ -126,8 +123,7 @@ impl Modulation {
         let qm = self.bits_per_symbol();
         (0..(1u32 << qm))
             .map(|v| {
-                let bits: Vec<u8> =
-                    (0..qm).map(|i| ((v >> (qm - 1 - i)) & 1) as u8).collect();
+                let bits: Vec<u8> = (0..qm).map(|i| ((v >> (qm - 1 - i)) & 1) as u8).collect();
                 (v, self.map(&bits))
             })
             .collect()
@@ -139,10 +135,7 @@ impl Modulation {
         constellation
             .iter()
             .min_by(|a, b| {
-                sample
-                    .dist2(a.1)
-                    .partial_cmp(&sample.dist2(b.1))
-                    .expect("distances are finite")
+                sample.dist2(a.1).partial_cmp(&sample.dist2(b.1)).expect("distances are finite")
             })
             .expect("constellation is non-empty")
             .0

@@ -47,14 +47,10 @@ pub fn fft(data: &mut [Iq], inverse: bool) {
                 let b = data[start + k + len / 2];
                 let tr = cr * f64::from(b.i) - ci * f64::from(b.q);
                 let ti = cr * f64::from(b.q) + ci * f64::from(b.i);
-                data[start + k] = Iq::new(
-                    (f64::from(a.i) + tr) as f32,
-                    (f64::from(a.q) + ti) as f32,
-                );
-                data[start + k + len / 2] = Iq::new(
-                    (f64::from(a.i) - tr) as f32,
-                    (f64::from(a.q) - ti) as f32,
-                );
+                data[start + k] =
+                    Iq::new((f64::from(a.i) + tr) as f32, (f64::from(a.q) + ti) as f32);
+                data[start + k + len / 2] =
+                    Iq::new((f64::from(a.i) - tr) as f32, (f64::from(a.q) - ti) as f32);
                 let ncr = cr * wr - ci * wi;
                 ci = cr * wi + ci * wr;
                 cr = ncr;

@@ -68,11 +68,7 @@ pub fn xcorr_mag(a: &[Iq], b: &[Iq], lag: usize) -> f64 {
 /// A correlation-based preamble detector: given a received signal, reports
 /// which of the candidate preambles are present (normalised correlation
 /// above `threshold`).
-pub fn detect_preambles(
-    received: &[Iq],
-    candidates: &[ZadoffChu],
-    threshold: f64,
-) -> Vec<usize> {
+pub fn detect_preambles(received: &[Iq], candidates: &[ZadoffChu], threshold: f64) -> Vec<usize> {
     candidates
         .iter()
         .enumerate()
@@ -138,8 +134,7 @@ mod tests {
 
     #[test]
     fn detector_finds_superposed_preambles() {
-        let candidates: Vec<ZadoffChu> =
-            (0..8).map(|k| ZadoffChu::short(11, k * 17)).collect();
+        let candidates: Vec<ZadoffChu> = (0..8).map(|k| ZadoffChu::short(11, k * 17)).collect();
         let mut air = vec![Iq::new(0.0, 0.0); SHORT_PREAMBLE_LEN];
         superpose(&mut air, &candidates[2].generate());
         superpose(&mut air, &candidates[5].generate());

@@ -94,8 +94,7 @@ mod tests {
     fn different_c_init_diverges() {
         let mut a = GoldSequence::new(1);
         let mut b = GoldSequence::new(2);
-        let differing =
-            (0..1024).filter(|_| a.next_bit() != b.next_bit()).count();
+        let differing = (0..1024).filter(|_| a.next_bit() != b.next_bit()).count();
         // Gold sequences with different seeds agree on ~half the positions.
         assert!(differing > 400 && differing < 625, "differing = {differing}");
     }
@@ -116,11 +115,7 @@ mod tests {
         // should be ~50%.
         let mut g = GoldSequence::new(0x31415);
         let bits: Vec<u8> = (0..10_000).map(|_| g.next_bit()).collect();
-        let agree = bits
-            .iter()
-            .zip(bits[63..].iter())
-            .filter(|(a, b)| a == b)
-            .count();
+        let agree = bits.iter().zip(bits[63..].iter()).filter(|(a, b)| a == b).count();
         let frac = agree as f64 / (bits.len() - 63) as f64;
         assert!((frac - 0.5).abs() < 0.02, "agreement {frac}");
     }

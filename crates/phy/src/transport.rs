@@ -134,8 +134,7 @@ pub fn decode(config: ShChConfig, samples: &[Iq]) -> Result<Vec<u8>, TransportEr
         if n_blocks == 1 {
             tb.extend_from_slice(block);
         } else {
-            let payload =
-                CRC24B.check(block).ok_or(TransportError::CodeBlockCrc { index })?;
+            let payload = CRC24B.check(block).ok_or(TransportError::CodeBlockCrc { index })?;
             tb.extend_from_slice(payload);
         }
     }

@@ -111,9 +111,7 @@ impl RadioHead {
     /// This is the lead time the MAC scheduler must grant the radio before
     /// the scheduled air time (§4's interdependency note).
     pub fn tx_radio_latency(&mut self, samples: u64, rng: &mut SimRng) -> Duration {
-        self.submit_latency(samples, rng)
-            + self.config.device_buffering
-            + self.config.dac_pipeline
+        self.submit_latency(samples, rng) + self.config.device_buffering + self.config.dac_pipeline
     }
 
     /// Full RX radio latency: ADC chain + device buffering + bus transfer
@@ -163,8 +161,7 @@ mod tests {
         let b210 = RadioHead::new(RadioHeadConfig::usrp_b210(true));
         let pcie = RadioHead::new(RadioHeadConfig::pcie_low_latency());
         assert!(
-            pcie.mean_tx_radio_latency(SLOT_SAMPLES) * 4
-                < b210.mean_tx_radio_latency(SLOT_SAMPLES)
+            pcie.mean_tx_radio_latency(SLOT_SAMPLES) * 4 < b210.mean_tx_radio_latency(SLOT_SAMPLES)
         );
     }
 

@@ -138,12 +138,7 @@ impl HarqEntity {
             return Err(HarqError::ProcessBusy);
         }
         self.ndi[process] = !self.ndi[process];
-        *slot = Some(ProcessState {
-            data,
-            transmissions: 1,
-            ndi: self.ndi[process],
-            last_tx: now,
-        });
+        *slot = Some(ProcessState { data, transmissions: 1, ndi: self.ndi[process], last_tx: now });
         self.stats.0 += 1;
         Ok(self.ndi[process])
     }
@@ -215,6 +210,21 @@ pub fn harq_round_trip(duplex: &Duplex, dl_data: bool, feedback_processing: Dura
         worst = worst.max(rtt);
     }
     worst
+}
+
+/// The RLC AM recovery round-trip: when HARQ exhausts its budget, the
+/// receiver's next status report NACKs the SN and the sender retransmits
+/// through a fresh HARQ cycle. The status PDU waits for a reverse-direction
+/// opportunity — in the worst case a full pattern period — and the
+/// retransmission then pays another HARQ round trip. This is the latency
+/// step of the paper's §8 escalation path, an order of magnitude above the
+/// 0.5 ms HARQ step.
+pub fn rlc_recovery_round_trip(
+    duplex: &Duplex,
+    dl_data: bool,
+    feedback_processing: Duration,
+) -> Duration {
+    duplex.pattern_period() + harq_round_trip(duplex, dl_data, feedback_processing)
 }
 
 /// Expected delivery latency of a transport block under per-transmission
@@ -333,6 +343,20 @@ mod tests {
     }
 
     #[test]
+    fn rlc_recovery_costs_a_period_more_than_harq() {
+        for duplex in [Duplex::Tdd(TddConfig::dddu_testbed()), Duplex::Tdd(TddConfig::dm_minimal())]
+        {
+            for dl_data in [false, true] {
+                let fb = Duration::from_micros(50);
+                let harq = harq_round_trip(&duplex, dl_data, fb);
+                let rlc = rlc_recovery_round_trip(&duplex, dl_data, fb);
+                assert_eq!(rlc, duplex.pattern_period() + harq);
+                assert!(rlc > harq);
+            }
+        }
+    }
+
+    #[test]
     fn expected_delay_grows_with_error_rate() {
         let rtt = Duration::from_micros(500);
         let d0 = expected_retx_delay(0.0, rtt, 4);
@@ -346,9 +370,6 @@ mod tests {
 
     #[test]
     fn single_transmission_budget_never_delays() {
-        assert_eq!(
-            expected_retx_delay(0.3, Duration::from_micros(500), 1),
-            Duration::ZERO
-        );
+        assert_eq!(expected_retx_delay(0.3, Duration::from_micros(500), 1), Duration::ZERO);
     }
 }

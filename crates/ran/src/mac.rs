@@ -149,17 +149,14 @@ impl MacPdu {
 /// The short-BSR buffer-size levels of TS 38.321 Table 6.1.3.1-1
 /// (5-bit index → "buffer ≤ N bytes"; index 31 means "> 150000").
 pub const BSR_LEVELS: [u32; 31] = [
-    0, 10, 14, 20, 28, 38, 53, 74, 102, 142, 198, 276, 384, 535, 745, 1038, 1446, 2014, 2806,
-    3909, 5446, 7587, 10570, 14726, 20516, 28581, 39818, 55474, 77284, 107669, 150000,
+    0, 10, 14, 20, 28, 38, 53, 74, 102, 142, 198, 276, 384, 535, 745, 1038, 1446, 2014, 2806, 3909,
+    5446, 7587, 10570, 14726, 20516, 28581, 39818, 55474, 77284, 107669, 150000,
 ];
 
 /// Encodes a short BSR control element: `| LCG(3) | BufferSize(5) |`.
 pub fn encode_short_bsr(lcg: u8, buffer_bytes: usize) -> Bytes {
     assert!(lcg < 8, "LCG is 3 bits");
-    let idx = BSR_LEVELS
-        .iter()
-        .position(|&lvl| buffer_bytes as u32 <= lvl)
-        .unwrap_or(31) as u8;
+    let idx = BSR_LEVELS.iter().position(|&lvl| buffer_bytes as u32 <= lvl).unwrap_or(31) as u8;
     Bytes::from(vec![(lcg << 5) | idx])
 }
 

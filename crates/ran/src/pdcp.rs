@@ -114,7 +114,14 @@ pub struct PdcpEntity {
 impl PdcpEntity {
     /// Creates a fresh entity (all state zero).
     pub fn new(config: PdcpConfig) -> PdcpEntity {
-        PdcpEntity { config, tx_next: 0, rx_deliv: 0, rx_next: 0, reorder: BTreeMap::new(), discarded: 0 }
+        PdcpEntity {
+            config,
+            tx_next: 0,
+            rx_deliv: 0,
+            rx_next: 0,
+            reorder: BTreeMap::new(),
+            discarded: 0,
+        }
     }
 
     /// The entity configuration.
@@ -204,9 +211,7 @@ impl PdcpEntity {
     /// buffered, in COUNT order, advancing the delivery edge past it.
     pub fn flush_reordering(&mut self) -> Vec<Bytes> {
         let mut out = Vec::new();
-        let counts: Vec<u32> = self.reorder.keys().copied().collect();
-        for c in counts {
-            let sdu = self.reorder.remove(&c).expect("key just listed");
+        for (c, sdu) in core::mem::take(&mut self.reorder) {
             out.push(sdu);
             self.rx_deliv = c + 1;
         }

@@ -68,6 +68,42 @@ impl RachConfig {
     }
 }
 
+/// Latency of one UE's contention-based random access starting at
+/// `trigger`, with `contending` UEs active on each occasion (itself
+/// included). Used as the SR-exhaustion recovery path: per attempt the
+/// collision probability is the birthday bound
+/// `1 − (1 − 1/preambles)^(contending − 1)`; a collision is detected at
+/// Msg4, the loser backs off uniformly and retries on the next reachable
+/// occasion. Returns `None` when `max_attempts` is exhausted.
+///
+/// With `contending == 1` the collision probability is zero, no RNG draw
+/// is consumed, and the result is fully deterministic (the uncontended
+/// four-step latency).
+pub fn recovery_latency(
+    config: &RachConfig,
+    trigger: Instant,
+    contending: u32,
+    rng: &mut SimRng,
+) -> Option<Duration> {
+    let p_collide = if contending <= 1 {
+        0.0
+    } else {
+        1.0 - (1.0 - 1.0 / config.preambles as f64).powi(contending as i32 - 1)
+    };
+    let steps = config.response_delay + config.msg3_delay + config.msg4_delay;
+    let mut ready = trigger;
+    for _ in 0..config.max_attempts {
+        let occasion = ready.ceil_to(config.occasion_period);
+        if !rng.chance(p_collide) {
+            return Some((occasion - trigger) + steps);
+        }
+        // Collision: the loss is only learned at Msg4; back off from there.
+        let backoff = Dist::Uniform { lo: Duration::ZERO, hi: config.max_backoff }.sample(rng);
+        ready = occasion + steps + backoff;
+    }
+    None
+}
+
 /// Result of a contention simulation.
 #[derive(Debug, Clone, Serialize)]
 pub struct ContentionStats {
@@ -112,9 +148,7 @@ pub fn simulate_contention(config: &RachConfig, n_ues: usize, seed: u64) -> Cont
         // Who transmits a preamble on this occasion?
         let mut picks: Vec<(usize, usize)> = Vec::new(); // (ue, preamble)
         for (i, ue) in ues.iter_mut().enumerate() {
-            if ue.done.is_none()
-                && ue.next_attempt <= occasion
-                && ue.attempts < config.max_attempts
+            if ue.done.is_none() && ue.next_attempt <= occasion && ue.attempts < config.max_attempts
             {
                 ue.attempts += 1;
                 let p = (rng.next_u64() % config.preambles as u64) as usize;
@@ -135,8 +169,8 @@ pub fn simulate_contention(config: &RachConfig, n_ues: usize, seed: u64) -> Cont
             } else {
                 msg1_collided += 1;
                 // Loser learns at Msg4 and backs off.
-                let backoff = Dist::Uniform { lo: Duration::ZERO, hi: config.max_backoff }
-                    .sample(&mut rng);
+                let backoff =
+                    Dist::Uniform { lo: Duration::ZERO, hi: config.max_backoff }.sample(&mut rng);
                 ues[i].next_attempt = occasion
                     + config.response_delay
                     + config.msg3_delay
@@ -184,6 +218,48 @@ mod tests {
         let worst = c.uncontended_latency(Instant::from_millis(10) + Duration::from_nanos(1));
         assert!(worst > Duration::from_millis(15));
         assert!(worst <= c.uncontended_worst_case());
+    }
+
+    #[test]
+    fn recovery_latency_uncontended_is_deterministic() {
+        let c = RachConfig::default();
+        let mut rng = SimRng::from_seed(1);
+        let trigger = Instant::from_millis(3);
+        let lat = recovery_latency(&c, trigger, 1, &mut rng).expect("always succeeds");
+        assert_eq!(lat, c.uncontended_latency(trigger));
+        // No draws were consumed: the next draw matches a fresh stream.
+        assert_eq!(rng.next_u64(), SimRng::from_seed(1).next_u64());
+    }
+
+    #[test]
+    fn recovery_latency_grows_with_contention() {
+        let c = RachConfig::default();
+        let mean = |contending: u32, seed: u64| {
+            let mut rng = SimRng::from_seed(seed).stream("recovery");
+            let mut sum = Duration::ZERO;
+            let mut ok = 0u32;
+            for _ in 0..2_000 {
+                if let Some(l) = recovery_latency(&c, Instant::from_millis(1), contending, &mut rng)
+                {
+                    sum += l;
+                    ok += 1;
+                }
+            }
+            (sum.as_micros_f64() / f64::from(ok.max(1)), ok)
+        };
+        let (lone, ok1) = mean(1, 2);
+        let (crowded, ok2) = mean(200, 2);
+        assert_eq!(ok1, 2_000);
+        assert!(ok2 > 0);
+        assert!(crowded > lone, "crowded {crowded} vs lone {lone}");
+    }
+
+    #[test]
+    fn recovery_latency_exhausts_under_certain_collision() {
+        // preambles = 1 with 2 contenders: every attempt collides.
+        let c = RachConfig { preambles: 1, max_attempts: 3, ..RachConfig::default() };
+        let mut rng = SimRng::from_seed(3);
+        assert_eq!(recovery_latency(&c, Instant::ZERO, 2, &mut rng), None);
     }
 
     #[test]

@@ -56,14 +56,17 @@ pub struct StatusPdu {
 }
 
 impl StatusPdu {
-    /// Encodes to wire format.
+    /// Encodes to wire format. The one-byte NACK count caps the list at
+    /// 255 entries; any excess is dropped from the tail, which is safe —
+    /// an un-NACKed missing SN is simply reported by the next status PDU
+    /// (the spec's own behaviour when a status PDU doesn't fit its grant).
     pub fn encode(&self) -> Bytes {
-        assert!(self.nacks.len() <= 255, "nack list too long for this codec");
-        let mut out = Vec::with_capacity(3 + 2 * self.nacks.len());
+        let nacks = &self.nacks[..self.nacks.len().min(255)];
+        let mut out = Vec::with_capacity(3 + 2 * nacks.len());
         out.push(((self.ack_sn >> 8) as u8) & 0x0F); // D/C=0, CPT=000
         out.push(self.ack_sn as u8);
-        out.push(self.nacks.len() as u8);
-        for &n in &self.nacks {
+        out.push(nacks.len() as u8);
+        for &n in nacks {
             out.extend_from_slice(&n.to_be_bytes());
         }
         Bytes::from(out)
@@ -79,9 +82,8 @@ impl StatusPdu {
         if pdu.len() < 3 + 2 * count {
             return Err(RlcError::Truncated);
         }
-        let nacks = (0..count)
-            .map(|i| u16::from_be_bytes([pdu[3 + 2 * i], pdu[4 + 2 * i]]))
-            .collect();
+        let nacks =
+            (0..count).map(|i| u16::from_be_bytes([pdu[3 + 2 * i], pdu[4 + 2 * i]])).collect();
         Ok(StatusPdu { ack_sn, nacks })
     }
 }
@@ -147,12 +149,8 @@ impl RlcAmEntity {
     /// Bytes awaiting first transmission or retransmission.
     pub fn queued_bytes(&self) -> usize {
         let fresh: usize = self.wait_queue.iter().map(Bytes::len).sum();
-        let retx: usize = self
-            .retx_queue
-            .iter()
-            .filter_map(|c| self.tx_buffer.get(c))
-            .map(|e| e.sdu.len())
-            .sum();
+        let retx: usize =
+            self.retx_queue.iter().filter_map(|c| self.tx_buffer.get(c)).map(|e| e.sdu.len()).sum();
         fresh + retx
     }
 
@@ -189,17 +187,22 @@ impl RlcAmEntity {
             self.status_requested = false;
             return Ok(Some(pdu));
         }
-        if let Some(&count) = self.retx_queue.front() {
-            let entry = self.tx_buffer.get(&count).expect("retx entry present");
+        while let Some(&count) = self.retx_queue.front() {
+            // A queued count whose buffer entry has since been acked or
+            // abandoned is stale: drop it and move on rather than panic.
+            let Some(entry) = self.tx_buffer.get(&count) else {
+                self.retx_queue.pop_front();
+                continue;
+            };
             let needed = 2 + entry.sdu.len();
             if grant < needed {
                 return Err(RlcError::GrantTooSmall { grant, needed });
             }
+            let sdu = entry.sdu.clone();
             self.retx_queue.pop_front();
             self.pdus_since_poll += 1;
             let poll = self.should_poll();
-            let pdu = self.encode_data_pdu(count, poll, &self.tx_buffer[&count].sdu.clone());
-            return Ok(Some(pdu));
+            return Ok(Some(self.encode_data_pdu(count, poll, &sdu)));
         }
         let Some(sdu) = self.wait_queue.pop_front() else {
             return Ok(None);
@@ -283,9 +286,8 @@ impl RlcAmEntity {
     /// an SDU at `maxRetxThreshold` would stall in-order delivery forever.
     pub fn rx_flush_gaps(&mut self) -> Vec<Bytes> {
         let mut out = Vec::new();
-        let counts: Vec<u64> = self.rx_buffer.keys().copied().collect();
-        for c in counts {
-            out.push(self.rx_buffer.remove(&c).expect("key just listed"));
+        for (c, sdu) in core::mem::take(&mut self.rx_buffer) {
+            out.push(sdu);
             self.rx_deliv = c + 1;
         }
         self.rx_deliv = self.rx_deliv.max(self.rx_highest);
@@ -323,17 +325,20 @@ impl RlcAmEntity {
         }
         // Retransmissions.
         for c in nack_counts {
-            if let Some(entry) = self.tx_buffer.get_mut(&c) {
-                if entry.retx >= self.config.max_retx {
-                    let entry = self.tx_buffer.remove(&c).expect("entry exists");
-                    self.retx_queue.retain(|&q| q != c);
-                    outcome.failed.push(entry.sdu);
-                } else {
+            match self.tx_buffer.get_mut(&c) {
+                Some(entry) if entry.retx >= self.config.max_retx => {
+                    if let Some(entry) = self.tx_buffer.remove(&c) {
+                        self.retx_queue.retain(|&q| q != c);
+                        outcome.failed.push(entry.sdu);
+                    }
+                }
+                Some(entry) => {
                     entry.retx += 1;
                     if !self.retx_queue.contains(&c) {
                         self.retx_queue.push_back(c);
                     }
                 }
+                None => {}
             }
         }
         Ok(outcome)
@@ -398,6 +403,16 @@ mod tests {
         assert_eq!(StatusPdu::decode(&s.encode()).unwrap(), s);
         let empty = StatusPdu { ack_sn: 0, nacks: vec![] };
         assert_eq!(StatusPdu::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn status_pdu_encode_truncates_oversized_nack_lists() {
+        let s = StatusPdu { ack_sn: 300, nacks: (0..400u16).collect() };
+        let wire = s.encode();
+        let decoded = StatusPdu::decode(&wire).unwrap();
+        assert_eq!(decoded.ack_sn, 300);
+        assert_eq!(decoded.nacks.len(), 255);
+        assert_eq!(decoded.nacks, (0..255u16).collect::<Vec<_>>());
     }
 
     #[test]
@@ -511,9 +526,7 @@ mod tests {
         }
         let pdus = drain(&mut a);
         // PDU 0 is lost forever (max_retx = 0 abandons on first NACK).
-        let out = a
-            .rx_pdu(&StatusPdu { ack_sn: 1, nacks: vec![0] }.encode())
-            .unwrap();
+        let out = a.rx_pdu(&StatusPdu { ack_sn: 1, nacks: vec![0] }.encode()).unwrap();
         assert_eq!(out.failed.len(), 1);
         // The receiver gets 1 and 2 but cannot deliver past the gap...
         assert!(b.rx_pdu(&pdus[1]).unwrap().delivered.is_empty());

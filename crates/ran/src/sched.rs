@@ -213,18 +213,12 @@ impl Scheduler {
             }
             // The grant DCI rides the control region of a DL-capable slot
             // (shorter pipeline than a data TB).
-            let grant_op =
-                self.config.duplex.next_dl_opportunity(now + self.config.control_lead);
+            let grant_op = self.config.duplex.next_dl_opportunity(now + self.config.control_lead);
             let grant_tx = grant_op.tx_start;
             // The UE can transmit after decoding the grant and preparing.
             let ue_ready = grant_tx + self.config.ue_grant_processing;
             let ul = self.reserve_ul(ue_ready, self.config.grant_bytes);
-            decision.ul_grants.push(UlGrant {
-                rnti,
-                grant_tx,
-                ul,
-                bytes: self.config.grant_bytes,
-            });
+            decision.ul_grants.push(UlGrant { rnti, grant_tx, ul, bytes: self.config.grant_bytes });
         }
         self.pending_srs = deferred;
 
@@ -381,7 +375,7 @@ mod tests {
         let d = s.run_slot(1);
         let g = &d.ul_grants[0];
         assert_eq!(g.grant_tx, Instant::from_micros(500)); // slot 1, DL
-        // UE ready at 2.5 ms -> slot 7 (3.5 ms) is the first UL start >= that.
+                                                           // UE ready at 2.5 ms -> slot 7 (3.5 ms) is the first UL start >= that.
         assert_eq!(g.ul.slot, 7);
     }
 

@@ -94,11 +94,7 @@ impl SdapEntity {
 
     /// Looks up the bearer for a flow.
     pub fn bearer_for(&self, qfi: Qfi) -> Result<DrbId, SdapError> {
-        self.mapping
-            .get(&qfi)
-            .copied()
-            .or(self.default_drb)
-            .ok_or(SdapError::NoBearer { qfi })
+        self.mapping.get(&qfi).copied().or(self.default_drb).ok_or(SdapError::NoBearer { qfi })
     }
 
     /// Builds an SDAP data PDU from an SDU: header + payload. Returns the
@@ -129,8 +125,7 @@ mod tests {
     fn header_roundtrip_all_values() {
         for qfi in 0..64u8 {
             for flags in 0..4u8 {
-                let h =
-                    SdapHeader { flag1: flags & 2 != 0, flag2: flags & 1 != 0, qfi };
+                let h = SdapHeader { flag1: flags & 2 != 0, flag2: flags & 1 != 0, qfi };
                 assert_eq!(SdapHeader::decode(h.encode()), h);
             }
         }

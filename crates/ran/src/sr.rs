@@ -114,7 +114,9 @@ impl SrProcedure {
                 true
             }
             SrState::Sent { last_tx, count } => {
-                if opportunity.checked_duration_since(last_tx).is_some_and(|d| d >= self.config.prohibit)
+                if opportunity
+                    .checked_duration_since(last_tx)
+                    .is_some_and(|d| d >= self.config.prohibit)
                 {
                     if count >= self.config.max_transmissions {
                         self.state = SrState::Failed;
@@ -143,6 +145,22 @@ impl SrProcedure {
     /// A grant arrived: the SR is satisfied.
     pub fn on_grant(&mut self) {
         self.state = SrState::Idle;
+    }
+
+    /// Whether the procedure has exhausted `sr-TransMax` and must fall
+    /// back to random access (TS 38.321 §5.4.4: "initiate a Random Access
+    /// procedure ... and cancel all pending SRs").
+    pub fn needs_rach(&self) -> bool {
+        matches!(self.state, SrState::Failed)
+    }
+
+    /// Random access completed (Msg4 resolved): the UE holds uplink
+    /// access again and the procedure returns to idle, ready for new
+    /// triggers. No-op unless the procedure had failed.
+    pub fn on_rach_complete(&mut self) {
+        if self.needs_rach() {
+            self.state = SrState::Idle;
+        }
     }
 }
 
@@ -213,6 +231,49 @@ mod tests {
         assert!(!sr.maybe_transmit(2, Instant::from_micros(500)));
         assert!(sr.maybe_transmit(3, Instant::from_micros(750)));
         assert!(matches!(sr.state(), SrState::Sent { .. }));
+    }
+
+    #[test]
+    fn post_exhaustion_rach_fallback_reacquires_uplink_access() {
+        let cfg = SrConfig {
+            prohibit: Duration::from_micros(1),
+            max_transmissions: 2,
+            ..SrConfig::default()
+        };
+        let mut sr = SrProcedure::new(cfg);
+        sr.trigger(Instant::ZERO);
+        assert!(sr.maybe_transmit(0, Instant::ZERO));
+        assert!(sr.maybe_transmit(1, Instant::from_micros(10)));
+        assert!(!sr.maybe_transmit(2, Instant::from_micros(20)));
+        assert!(sr.needs_rach(), "exhaustion must demand random access");
+        // While failed, the procedure neither transmits nor re-triggers.
+        sr.trigger(Instant::from_micros(30));
+        assert!(!sr.maybe_transmit(3, Instant::from_micros(30)));
+        assert_eq!(sr.state(), SrState::Failed);
+        // RACH resolves: the UE re-acquires uplink access and the SR
+        // machinery works again end to end.
+        let rach = crate::rach::RachConfig::default();
+        let recovery = crate::rach::recovery_latency(
+            &rach,
+            Instant::from_micros(30),
+            1,
+            &mut sim::SimRng::from_seed(0).stream("rach"),
+        )
+        .expect("uncontended RACH always completes");
+        assert!(recovery >= Duration::from_millis(6), "recovery {recovery}");
+        sr.on_rach_complete();
+        assert_eq!(sr.state(), SrState::Idle);
+        sr.trigger(Instant::from_millis(40));
+        assert!(sr.maybe_transmit(100, Instant::from_millis(40)));
+        assert!(matches!(sr.state(), SrState::Sent { count: 1, .. }));
+    }
+
+    #[test]
+    fn on_rach_complete_is_a_noop_unless_failed() {
+        let mut sr = SrProcedure::new(SrConfig::default());
+        sr.trigger(Instant::ZERO);
+        sr.on_rach_complete();
+        assert!(matches!(sr.state(), SrState::Pending { .. }));
     }
 
     #[test]

@@ -209,10 +209,8 @@ mod tests {
 
     #[test]
     fn gamma_matches_calibration() {
-        let d = Dist::GammaMeanStd {
-            mean: Duration::from_micros(50),
-            std: Duration::from_micros(20),
-        };
+        let d =
+            Dist::GammaMeanStd { mean: Duration::from_micros(50), std: Duration::from_micros(20) };
         let st = sample_stats(&d, 100_000, 5);
         assert!((st.mean() - 50.0).abs() < 0.7, "mean {}", st.mean());
         assert!((st.std() - 20.0).abs() < 0.7, "std {}", st.std());

@@ -1,0 +1,771 @@
+//! Deterministic fault injection: seeded, schedulable fault processes.
+//!
+//! The paper's §6 argues that URLLC reliability dies by a thousand cuts —
+//! bursty channel loss, OS scheduling storms, lost control signalling,
+//! corrupted feedback, transport spikes — each individually rare, jointly
+//! fatal at the 99.999 % scale. This module gives every such cut a
+//! *process*: a small stateful model drawn from its own labelled
+//! [`SimRng`] stream, so that
+//!
+//! * identical seed + identical [`FaultPlan`] ⇒ bit-identical traces;
+//! * a disabled process consumes **zero** draws, so an empty plan
+//!   reproduces the fault-free baseline byte for byte;
+//! * enabling one fault never perturbs the draws of another (each process
+//!   owns an independent child stream).
+//!
+//! The experiment driver (`urllc-stack`) holds a [`FaultInjector`] built
+//! from the plan and consults it at each layer's hook point; per-ping
+//! bookkeeping ([`PingFaultTrace`]) attributes every late or lost packet
+//! to the fault that dominated it ([`FaultAttribution`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dist::Dist;
+use crate::rng::SimRng;
+use crate::time::Duration;
+
+/// Number of fault kinds (array sizing for tallies and traces).
+pub const FAULT_KINDS: usize = 6;
+
+/// The injectable fault processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Gilbert–Elliott burst loss overlaid on the air interface.
+    ChannelBurst,
+    /// OS-jitter storm on the radio fronthaul (submission/receive threads
+    /// preempted for an extended burst — Fig 5's spikes, correlated).
+    JitterStorm,
+    /// Scheduling request lost on PUCCH (the gNB never hears it).
+    SrLoss,
+    /// HARQ feedback corrupted (ACK↔NACK flip on the control channel).
+    HarqFeedback,
+    /// Latency spike on the N3/N6 backbone to the UPF.
+    BackboneSpike,
+    /// Scheduler withholds a grant/assignment for one slot (starvation,
+    /// preemption by higher-priority traffic).
+    GrantWithheld,
+}
+
+impl FaultKind {
+    /// All kinds, in tally order.
+    pub const ALL: [FaultKind; FAULT_KINDS] = [
+        FaultKind::ChannelBurst,
+        FaultKind::JitterStorm,
+        FaultKind::SrLoss,
+        FaultKind::HarqFeedback,
+        FaultKind::BackboneSpike,
+        FaultKind::GrantWithheld,
+    ];
+
+    /// Stable index into tally/trace arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::ChannelBurst => 0,
+            FaultKind::JitterStorm => 1,
+            FaultKind::SrLoss => 2,
+            FaultKind::HarqFeedback => 3,
+            FaultKind::BackboneSpike => 4,
+            FaultKind::GrantWithheld => 5,
+        }
+    }
+
+    /// Human-readable label (CSV headers, reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::ChannelBurst => "channel-burst",
+            FaultKind::JitterStorm => "jitter-storm",
+            FaultKind::SrLoss => "sr-loss",
+            FaultKind::HarqFeedback => "harq-feedback",
+            FaultKind::BackboneSpike => "backbone-spike",
+            FaultKind::GrantWithheld => "grant-withheld",
+        }
+    }
+}
+
+/// Gilbert–Elliott burst-loss parameters: a two-state Markov chain with a
+/// per-packet loss probability in each state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// P(good → bad) per packet.
+    pub p_enter_bad: f64,
+    /// P(bad → good) per packet.
+    pub p_exit_bad: f64,
+    /// Loss probability in the good state.
+    pub loss_good: f64,
+    /// Loss probability in the bad state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// Stationary probability of being in the bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        if self.p_enter_bad <= 0.0 {
+            return 0.0;
+        }
+        self.p_enter_bad / (self.p_enter_bad + self.p_exit_bad)
+    }
+
+    /// Long-run mean packet-loss probability.
+    pub fn mean_loss(&self) -> f64 {
+        let bad = self.stationary_bad();
+        bad * self.loss_bad + (1.0 - bad) * self.loss_good
+    }
+}
+
+/// A running Gilbert–Elliott chain with its own RNG stream.
+#[derive(Debug, Clone)]
+pub struct GeChain {
+    params: GilbertElliott,
+    bad: bool,
+    rng: SimRng,
+    steps: u64,
+    losses: u64,
+}
+
+impl GeChain {
+    /// Creates the chain in the good state.
+    pub fn new(params: GilbertElliott, rng: SimRng) -> GeChain {
+        GeChain { params, bad: false, rng, steps: 0, losses: 0 }
+    }
+
+    /// The chain parameters.
+    pub fn params(&self) -> &GilbertElliott {
+        &self.params
+    }
+
+    /// Advances one packet; returns `true` when the packet is lost.
+    pub fn step(&mut self) -> bool {
+        self.steps += 1;
+        let flip = if self.bad { self.params.p_exit_bad } else { self.params.p_enter_bad };
+        if self.rng.chance(flip) {
+            self.bad = !self.bad;
+        }
+        let p = if self.bad { self.params.loss_bad } else { self.params.loss_good };
+        let lost = self.rng.chance(p);
+        if lost {
+            self.losses += 1;
+        }
+        lost
+    }
+
+    /// Whether the chain is currently in the bad state.
+    pub fn is_bad(&self) -> bool {
+        self.bad
+    }
+
+    /// Observed loss fraction so far.
+    pub fn observed_loss(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.losses as f64 / self.steps as f64
+        }
+    }
+}
+
+/// A Markov-modulated delay storm: geometric dwell in a storming state that
+/// adds extra latency to every affected operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StormConfig {
+    /// P(calm → storming) per sample.
+    pub enter: f64,
+    /// P(stay storming) per sample.
+    pub stay: f64,
+    /// Extra delay added while storming.
+    pub extra: Dist,
+}
+
+/// A running storm chain with its own RNG stream.
+#[derive(Debug, Clone)]
+pub struct StormChain {
+    config: StormConfig,
+    storming: bool,
+    rng: SimRng,
+}
+
+impl StormChain {
+    /// Creates the chain in the calm state.
+    pub fn new(config: StormConfig, rng: SimRng) -> StormChain {
+        StormChain { config, storming: false, rng }
+    }
+
+    /// Advances one operation; returns the extra delay it suffers
+    /// (zero while calm).
+    pub fn sample(&mut self) -> Duration {
+        let p = if self.storming { self.config.stay } else { self.config.enter };
+        self.storming = self.rng.chance(p);
+        if self.storming {
+            self.config.extra.sample(&mut self.rng)
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// Whether the last sample was inside a storm.
+    pub fn is_storming(&self) -> bool {
+        self.storming
+    }
+}
+
+/// An independent per-event delay spike.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpikeConfig {
+    /// Probability a given traversal spikes.
+    pub prob: f64,
+    /// Extra delay when it does.
+    pub extra: Dist,
+}
+
+/// An independent per-event loss gate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossGate {
+    /// Probability the event is lost/corrupted/withheld.
+    pub prob: f64,
+}
+
+/// A complete fault schedule: which processes run and with what parameters.
+///
+/// `None` disables a process entirely — it consumes no RNG draws, so a
+/// plan with all processes disabled reproduces the fault-free baseline
+/// byte for byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Burst loss overlaid on the air interface (both directions).
+    pub channel_burst: Option<GilbertElliott>,
+    /// OS-jitter storms on the gNB radio fronthaul.
+    pub fronthaul_storm: Option<StormConfig>,
+    /// SR/PUCCH loss.
+    pub sr_loss: Option<LossGate>,
+    /// HARQ ACK/NACK feedback corruption.
+    pub harq_feedback: Option<LossGate>,
+    /// Backbone (N3/N6) delay spikes.
+    pub backbone_spike: Option<SpikeConfig>,
+    /// Scheduler grant withholding.
+    pub grant_withhold: Option<LossGate>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no fault processes at all.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            channel_burst: None,
+            fronthaul_storm: None,
+            sr_loss: None,
+            harq_feedback: None,
+            backbone_spike: None,
+            grant_withhold: None,
+        }
+    }
+
+    /// Whether every process is disabled.
+    pub fn is_empty(&self) -> bool {
+        self.channel_burst.is_none()
+            && self.fronthaul_storm.is_none()
+            && self.sr_loss.is_none()
+            && self.harq_feedback.is_none()
+            && self.backbone_spike.is_none()
+            && self.grant_withhold.is_none()
+    }
+
+    /// The chaos preset: every process enabled, probabilities scaled by
+    /// `intensity` (0 = no faults, 1 = severe). Used by the `repro chaos`
+    /// reliability sweep; `intensity <= 0` returns the empty plan so the
+    /// sweep's zero column is the exact baseline.
+    pub fn chaos(intensity: f64) -> FaultPlan {
+        if intensity <= 0.0 {
+            return FaultPlan::none();
+        }
+        let p = |base: f64, cap: f64| (base * intensity).min(cap);
+        FaultPlan {
+            channel_burst: Some(GilbertElliott {
+                p_enter_bad: p(0.02, 0.5),
+                p_exit_bad: 0.5,
+                loss_good: 0.0,
+                loss_bad: 0.6,
+            }),
+            fronthaul_storm: Some(StormConfig {
+                enter: p(0.05, 0.9),
+                stay: 0.5,
+                extra: Dist::LogNormalMeanStd {
+                    mean: Duration::from_micros(250),
+                    std: Duration::from_micros(120),
+                },
+            }),
+            sr_loss: Some(LossGate { prob: p(0.35, 1.0) }),
+            harq_feedback: Some(LossGate { prob: p(0.05, 1.0) }),
+            backbone_spike: Some(SpikeConfig {
+                prob: p(0.10, 1.0),
+                extra: Dist::Exponential { mean: Duration::from_micros(400) },
+            }),
+            grant_withhold: Some(LossGate { prob: p(0.10, 0.9) }),
+        }
+    }
+}
+
+/// Per-kind event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTally {
+    counts: [u64; FAULT_KINDS],
+}
+
+impl FaultTally {
+    /// Counts one event of `kind`.
+    pub fn count(&mut self, kind: FaultKind) {
+        self.counts[kind.index()] += 1;
+    }
+
+    /// Events of `kind` so far.
+    pub fn get(&self, kind: FaultKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total events across all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// The per-ping fault ledger: which faults fired during one packet's
+/// journey and how much latency each contributed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PingFaultTrace {
+    extra: [Duration; FAULT_KINDS],
+    events: [u64; FAULT_KINDS],
+}
+
+impl Default for PingFaultTrace {
+    fn default() -> Self {
+        PingFaultTrace { extra: [Duration::ZERO; FAULT_KINDS], events: [0; FAULT_KINDS] }
+    }
+}
+
+impl PingFaultTrace {
+    /// Creates an empty ledger.
+    pub fn new() -> PingFaultTrace {
+        PingFaultTrace::default()
+    }
+
+    /// Records one fault event and the latency it added.
+    pub fn record(&mut self, kind: FaultKind, extra: Duration) {
+        self.events[kind.index()] += 1;
+        self.extra[kind.index()] += extra;
+    }
+
+    /// Whether no fault touched this ping.
+    pub fn is_clean(&self) -> bool {
+        self.events.iter().all(|&e| e == 0)
+    }
+
+    /// Total fault-attributed extra latency.
+    pub fn total_extra(&self) -> Duration {
+        self.extra.iter().fold(Duration::ZERO, |acc, &d| acc + d)
+    }
+
+    /// The fault that dominated this ping: most extra latency, ties broken
+    /// by event count. `None` when the ping saw no faults.
+    pub fn dominant(&self) -> Option<FaultKind> {
+        if self.is_clean() {
+            return None;
+        }
+        FaultKind::ALL.into_iter().filter(|k| self.events[k.index()] > 0).max_by(|a, b| {
+            self.extra[a.index()]
+                .cmp(&self.extra[b.index()])
+                .then(self.events[a.index()].cmp(&self.events[b.index()]))
+        })
+    }
+}
+
+/// How one ping ended, relative to its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PingOutcome {
+    /// Delivered within the deadline.
+    OnTime,
+    /// Delivered, but past the deadline.
+    Late,
+    /// Never delivered (radio-link failure or access failure).
+    Lost,
+}
+
+/// Experiment-level attribution: per-outcome counts, split by the fault
+/// that dominated each ping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultAttribution {
+    /// Pings delivered within the deadline.
+    pub on_time: u64,
+    /// Pings delivered late.
+    pub late: u64,
+    /// Pings lost.
+    pub lost: u64,
+    /// Late pings no fault touched (the baseline tail of the latency
+    /// distribution — §6's margin problem, present without injection).
+    pub late_baseline: u64,
+    /// Late pings by dominating fault.
+    pub late_by: FaultTally,
+    /// Lost pings by dominating fault.
+    pub lost_by: FaultTally,
+}
+
+impl FaultAttribution {
+    /// Classifies one delivered ping.
+    pub fn record_delivered(&mut self, on_time: bool, dominant: Option<FaultKind>) {
+        if on_time {
+            self.on_time += 1;
+        } else {
+            self.late += 1;
+            match dominant {
+                Some(k) => self.late_by.count(k),
+                None => self.late_baseline += 1,
+            }
+        }
+    }
+
+    /// Classifies one lost ping.
+    pub fn record_lost(&mut self, dominant: Option<FaultKind>) {
+        self.lost += 1;
+        if let Some(k) = dominant {
+            self.lost_by.count(k);
+        }
+    }
+
+    /// Total pings classified.
+    pub fn total(&self) -> u64 {
+        self.on_time + self.late + self.lost
+    }
+
+    /// Deadline-miss probability: (late + lost) / total.
+    pub fn miss_probability(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.late + self.lost) as f64 / t as f64
+        }
+    }
+
+    /// True when no ping was touched by any injected fault: no losses, and
+    /// every late ping attributed to the baseline latency tail.
+    pub fn is_fault_free(&self) -> bool {
+        self.lost == 0 && self.late_by.total() == 0 && self.lost_by.total() == 0
+    }
+}
+
+/// The runtime fault injector: one stateful process per enabled plan
+/// entry, each on its own child stream of the experiment master RNG.
+///
+/// Every query method is a no-op (no RNG draw, default answer) when its
+/// process is disabled — the invariant that makes the empty plan
+/// byte-identical to the baseline.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    channel: Option<GeChain>,
+    storm: Option<StormChain>,
+    sr: Option<(LossGate, SimRng)>,
+    harq_fb: Option<(LossGate, SimRng)>,
+    backbone: Option<(SpikeConfig, SimRng)>,
+    grant: Option<(LossGate, SimRng)>,
+    recovery_rng: SimRng,
+    tally: FaultTally,
+}
+
+impl FaultInjector {
+    /// Builds the injector, deriving one stream per enabled process from
+    /// `master` (labels are stable across runs and plans).
+    pub fn new(plan: &FaultPlan, master: &SimRng) -> FaultInjector {
+        let root = master.stream("faults");
+        FaultInjector {
+            channel: plan.channel_burst.map(|p| GeChain::new(p, root.stream("channel"))),
+            storm: plan.fronthaul_storm.clone().map(|c| StormChain::new(c, root.stream("storm"))),
+            sr: plan.sr_loss.map(|g| (g, root.stream("sr"))),
+            harq_fb: plan.harq_feedback.map(|g| (g, root.stream("harq-fb"))),
+            backbone: plan.backbone_spike.clone().map(|c| (c, root.stream("backbone"))),
+            grant: plan.grant_withhold.map(|g| (g, root.stream("grant"))),
+            recovery_rng: root.stream("recovery"),
+            tally: FaultTally::default(),
+        }
+    }
+
+    /// Whether any process is enabled.
+    pub fn is_active(&self) -> bool {
+        self.channel.is_some()
+            || self.storm.is_some()
+            || self.sr.is_some()
+            || self.harq_fb.is_some()
+            || self.backbone.is_some()
+            || self.grant.is_some()
+    }
+
+    /// Whether the burst-loss overlay is enabled.
+    pub fn channel_burst_active(&self) -> bool {
+        self.channel.is_some()
+    }
+
+    /// Whether HARQ feedback corruption is enabled.
+    pub fn harq_feedback_active(&self) -> bool {
+        self.harq_fb.is_some()
+    }
+
+    /// One air transmission: does the burst overlay lose it?
+    pub fn channel_loss(&mut self) -> bool {
+        let Some(chain) = self.channel.as_mut() else { return false };
+        let lost = chain.step();
+        if lost {
+            self.tally.count(FaultKind::ChannelBurst);
+        }
+        lost
+    }
+
+    /// One fronthaul operation: extra storm delay (zero while calm).
+    pub fn storm_delay(&mut self) -> Duration {
+        let Some(chain) = self.storm.as_mut() else { return Duration::ZERO };
+        let d = chain.sample();
+        if d > Duration::ZERO {
+            self.tally.count(FaultKind::JitterStorm);
+        }
+        d
+    }
+
+    /// One SR transmission: is it lost on PUCCH?
+    pub fn sr_lost(&mut self) -> bool {
+        let Some((gate, rng)) = self.sr.as_mut() else { return false };
+        let lost = rng.chance(gate.prob);
+        if lost {
+            self.tally.count(FaultKind::SrLoss);
+        }
+        lost
+    }
+
+    /// One HARQ feedback transmission: is the ACK/NACK flipped?
+    pub fn harq_feedback_corrupted(&mut self) -> bool {
+        let Some((gate, rng)) = self.harq_fb.as_mut() else { return false };
+        let corrupted = rng.chance(gate.prob);
+        if corrupted {
+            self.tally.count(FaultKind::HarqFeedback);
+        }
+        corrupted
+    }
+
+    /// One backbone traversal: extra spike delay (usually zero).
+    pub fn backbone_spike(&mut self) -> Duration {
+        let Some((cfg, rng)) = self.backbone.as_mut() else { return Duration::ZERO };
+        if rng.chance(cfg.prob) {
+            self.tally.count(FaultKind::BackboneSpike);
+            cfg.extra.sample(rng)
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// One scheduling round: does the scheduler withhold the grant?
+    pub fn grant_withheld(&mut self) -> bool {
+        let Some((gate, rng)) = self.grant.as_mut() else { return false };
+        let withheld = rng.chance(gate.prob);
+        if withheld {
+            self.tally.count(FaultKind::GrantWithheld);
+        }
+        withheld
+    }
+
+    /// The stream recovery procedures (e.g. RACH re-access) draw from —
+    /// only touched on fault paths, so it never perturbs the baseline.
+    pub fn recovery_rng(&mut self) -> &mut SimRng {
+        &mut self.recovery_rng
+    }
+
+    /// Cumulative per-kind event counts.
+    pub fn tally(&self) -> &FaultTally {
+        &self.tally
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_zero_is_the_empty_plan() {
+        assert_eq!(FaultPlan::chaos(0.0), FaultPlan::none());
+        assert_eq!(FaultPlan::chaos(-1.0), FaultPlan::none());
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::chaos(0.1).is_empty());
+    }
+
+    #[test]
+    fn chaos_probabilities_scale_and_clamp() {
+        let lo = FaultPlan::chaos(0.1);
+        let hi = FaultPlan::chaos(1.0);
+        let extreme = FaultPlan::chaos(100.0);
+        assert!(
+            lo.sr_loss.unwrap().prob < hi.sr_loss.unwrap().prob,
+            "sr loss must grow with intensity"
+        );
+        assert!(extreme.sr_loss.unwrap().prob <= 1.0);
+        assert!(extreme.grant_withhold.unwrap().prob <= 0.9);
+        assert!(extreme.channel_burst.unwrap().p_enter_bad <= 0.5);
+    }
+
+    #[test]
+    fn ge_stationary_loss_matches_observation() {
+        let params =
+            GilbertElliott { p_enter_bad: 0.05, p_exit_bad: 0.25, loss_good: 0.01, loss_bad: 0.5 };
+        let mut chain = GeChain::new(params, SimRng::from_seed(7).stream("ge"));
+        for _ in 0..200_000 {
+            chain.step();
+        }
+        let expected = params.mean_loss();
+        assert!(
+            (chain.observed_loss() - expected).abs() < 0.01,
+            "observed {} vs stationary {expected}",
+            chain.observed_loss()
+        );
+    }
+
+    #[test]
+    fn ge_losses_are_bursty() {
+        // Consecutive losses must be far more frequent than independent
+        // losses at the same mean rate would produce.
+        let params =
+            GilbertElliott { p_enter_bad: 0.02, p_exit_bad: 0.3, loss_good: 0.0, loss_bad: 0.8 };
+        let mut chain = GeChain::new(params, SimRng::from_seed(8).stream("ge"));
+        let mut prev = false;
+        let mut pairs = 0u64;
+        let mut losses = 0u64;
+        let n = 100_000;
+        for _ in 0..n {
+            let lost = chain.step();
+            if lost {
+                losses += 1;
+                if prev {
+                    pairs += 1;
+                }
+            }
+            prev = lost;
+        }
+        let p = losses as f64 / n as f64;
+        let independent_pairs = p * p * n as f64;
+        assert!(
+            pairs as f64 > 3.0 * independent_pairs,
+            "pairs {pairs} vs independent expectation {independent_pairs:.1}"
+        );
+    }
+
+    #[test]
+    fn storm_adds_delay_only_while_storming() {
+        let cfg = StormConfig {
+            enter: 0.05,
+            stay: 0.6,
+            extra: Dist::Constant(Duration::from_micros(100)),
+        };
+        let mut chain = StormChain::new(cfg, SimRng::from_seed(9).stream("storm"));
+        let mut stormed = 0u32;
+        for _ in 0..10_000 {
+            let d = chain.sample();
+            if chain.is_storming() {
+                assert_eq!(d, Duration::from_micros(100));
+                stormed += 1;
+            } else {
+                assert_eq!(d, Duration::ZERO);
+            }
+        }
+        // Stationary fraction e/(e+1-s) = 0.05/0.45 ≈ 11 %.
+        assert!((500..2_000).contains(&stormed), "storm samples {stormed}");
+    }
+
+    #[test]
+    fn injector_disabled_processes_consume_no_draws() {
+        let master = SimRng::from_seed(11);
+        let mut inj = FaultInjector::new(&FaultPlan::none(), &master);
+        for _ in 0..100 {
+            assert!(!inj.channel_loss());
+            assert_eq!(inj.storm_delay(), Duration::ZERO);
+            assert!(!inj.sr_lost());
+            assert!(!inj.harq_feedback_corrupted());
+            assert_eq!(inj.backbone_spike(), Duration::ZERO);
+            assert!(!inj.grant_withheld());
+        }
+        assert_eq!(inj.tally().total(), 0);
+        assert!(!inj.is_active());
+    }
+
+    #[test]
+    fn injector_is_deterministic_and_streams_are_independent() {
+        let run = |plan: &FaultPlan| {
+            let master = SimRng::from_seed(3);
+            let mut inj = FaultInjector::new(plan, &master);
+            (0..500)
+                .map(|_| (inj.channel_loss(), inj.sr_lost(), inj.backbone_spike()))
+                .collect::<Vec<_>>()
+        };
+        let full = FaultPlan::chaos(1.0);
+        assert_eq!(run(&full), run(&full));
+
+        // Disabling one process must not change another's draws.
+        let mut no_sr = full.clone();
+        no_sr.sr_loss = None;
+        let a = run(&full);
+        let b = run(&no_sr);
+        let channel_a: Vec<bool> = a.iter().map(|t| t.0).collect();
+        let channel_b: Vec<bool> = b.iter().map(|t| t.0).collect();
+        assert_eq!(channel_a, channel_b, "channel stream perturbed by SR process");
+        let spikes_a: Vec<Duration> = a.iter().map(|t| t.2).collect();
+        let spikes_b: Vec<Duration> = b.iter().map(|t| t.2).collect();
+        assert_eq!(spikes_a, spikes_b, "backbone stream perturbed by SR process");
+    }
+
+    #[test]
+    fn trace_dominant_prefers_largest_extra() {
+        let mut t = PingFaultTrace::new();
+        assert_eq!(t.dominant(), None);
+        assert!(t.is_clean());
+        t.record(FaultKind::SrLoss, Duration::from_micros(10));
+        t.record(FaultKind::ChannelBurst, Duration::from_micros(500));
+        t.record(FaultKind::BackboneSpike, Duration::from_micros(40));
+        assert_eq!(t.dominant(), Some(FaultKind::ChannelBurst));
+        assert_eq!(t.total_extra(), Duration::from_micros(550));
+    }
+
+    #[test]
+    fn trace_dominant_breaks_ties_by_event_count() {
+        let mut t = PingFaultTrace::new();
+        // Equal (zero) extra: the kind with more events dominates.
+        t.record(FaultKind::HarqFeedback, Duration::ZERO);
+        t.record(FaultKind::SrLoss, Duration::ZERO);
+        t.record(FaultKind::SrLoss, Duration::ZERO);
+        assert_eq!(t.dominant(), Some(FaultKind::SrLoss));
+    }
+
+    #[test]
+    fn attribution_classifies_and_computes_miss_probability() {
+        let mut a = FaultAttribution::default();
+        a.record_delivered(true, None);
+        a.record_delivered(true, Some(FaultKind::BackboneSpike));
+        a.record_delivered(false, None);
+        a.record_delivered(false, Some(FaultKind::ChannelBurst));
+        a.record_lost(Some(FaultKind::ChannelBurst));
+        a.record_lost(None);
+        assert_eq!(a.on_time, 2);
+        assert_eq!(a.late, 2);
+        assert_eq!(a.lost, 2);
+        assert_eq!(a.late_baseline, 1);
+        assert_eq!(a.late_by.get(FaultKind::ChannelBurst), 1);
+        assert_eq!(a.lost_by.get(FaultKind::ChannelBurst), 1);
+        assert_eq!(a.total(), 6);
+        assert!((a.miss_probability() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_kind_indices_are_a_bijection() {
+        let mut seen = [false; FAULT_KINDS];
+        for k in FaultKind::ALL {
+            assert!(!seen[k.index()], "duplicate index for {k:?}");
+            seen[k.index()] = true;
+            assert!(!k.label().is_empty());
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -26,12 +26,17 @@
 
 pub mod dist;
 pub mod event;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use dist::{Dist, ServiceTime};
 pub use event::{EventEntry, EventQueue};
+pub use faults::{
+    FaultAttribution, FaultInjector, FaultKind, FaultPlan, FaultTally, GeChain, GilbertElliott,
+    LossGate, PingFaultTrace, PingOutcome, SpikeConfig, StormChain, StormConfig,
+};
 pub use rng::SimRng;
 pub use stats::{Histogram, LatencyRecorder, StreamingStats, Summary};
 pub use time::{Duration, Instant};

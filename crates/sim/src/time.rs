@@ -348,7 +348,10 @@ mod tests {
         assert_eq!(a * 4, Duration::from_millis(1));
         assert_eq!(a / 2, Duration::from_micros(125));
         assert_eq!(Duration::from_millis(2) / Duration::from_micros(500), 4);
-        assert_eq!(Duration::from_micros(700) % Duration::from_micros(500), Duration::from_micros(200));
+        assert_eq!(
+            Duration::from_micros(700) % Duration::from_micros(500),
+            Duration::from_micros(200)
+        );
     }
 
     #[test]

@@ -51,6 +51,21 @@ pub struct StackConfig {
     /// (each retransmission costs one HARQ round trip — §8's "+0.5 ms
     /// steps").
     pub harq_max_tx: u32,
+    /// RLC AM retransmission budget (`maxRetxThreshold`): how many times
+    /// the AM layer re-runs a full HARQ cycle for a transport block whose
+    /// HARQ budget was exhausted, before declaring radio link failure.
+    pub rlc_max_retx: u32,
+    /// UE scheduling-request procedure configuration (prohibit timer and
+    /// `sr-TransMax`; exhaustion falls back to RACH).
+    pub sr: ran::sr::SrConfig,
+    /// Random-access configuration for the SR-exhaustion fallback path.
+    pub rach: ran::RachConfig,
+    /// End-to-end RTT deadline used to classify each ping as on-time or
+    /// late in the fault-attribution report.
+    pub deadline: Duration,
+    /// Fault-injection plan. The default ([`sim::FaultPlan::none`]) injects
+    /// nothing and reproduces the fault-free traces byte for byte.
+    pub faults: sim::FaultPlan,
     /// Master random seed.
     pub seed: u64,
 }
@@ -83,6 +98,12 @@ impl StackConfig {
             payload_bytes: 64,
             link: None,
             harq_max_tx: 4,
+            rlc_max_retx: 4,
+            sr: ran::sr::SrConfig::default(),
+            rach: ran::RachConfig::default(),
+            // Four pattern periods of headroom over the Fig 6 medians.
+            deadline: Duration::from_millis(8),
+            faults: sim::FaultPlan::none(),
             // Arbitrary default; overridden per experiment via `with_seed`.
             seed: 0x5612_3458,
         }
@@ -122,6 +143,11 @@ impl StackConfig {
             payload_bytes: 64,
             link: None,
             harq_max_tx: 4,
+            rlc_max_retx: 4,
+            sr: ran::sr::SrConfig::default(),
+            rach: ran::RachConfig::default(),
+            deadline: Duration::from_millis(1),
+            faults: sim::FaultPlan::none(),
             seed: 7,
         }
     }
@@ -162,8 +188,7 @@ impl StackConfig {
     /// the configured MCS and PRB allocation.
     pub fn data_air_time(&self, bytes: usize) -> Duration {
         let nu = self.duplex.numerology();
-        let per_symbol_bits = self.carrier.res_per_prb(phy::numerology::SYMBOLS_PER_SLOT)
-            as f64
+        let per_symbol_bits = self.carrier.res_per_prb(phy::numerology::SYMBOLS_PER_SLOT) as f64
             / f64::from(phy::numerology::SYMBOLS_PER_SLOT - self.carrier.overhead_symbols)
             * self.data_prbs as f64
             * f64::from(self.modulation.bits_per_symbol())
@@ -177,6 +202,12 @@ impl StackConfig {
     /// With a different seed (for multi-run experiments).
     pub fn with_seed(mut self, seed: u64) -> StackConfig {
         self.seed = seed;
+        self
+    }
+
+    /// With a fault-injection plan (chaos experiments).
+    pub fn with_faults(mut self, faults: sim::FaultPlan) -> StackConfig {
+        self.faults = faults;
         self
     }
 }

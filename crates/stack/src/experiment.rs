@@ -19,8 +19,12 @@
 use bytes::Bytes;
 use radio::{RadioHead, TxRing};
 use ran::sched::{AccessMode, Rnti, Scheduler};
+use ran::sr::SrProcedure;
 use serde::{Deserialize, Serialize};
-use sim::{Dist, Duration, Instant, LatencyRecorder, SimRng, StreamingStats, Summary};
+use sim::{
+    Dist, Duration, FaultAttribution, FaultInjector, FaultKind, Instant, LatencyRecorder,
+    PingFaultTrace, SimRng, StreamingStats, Summary,
+};
 
 use crate::config::StackConfig;
 use crate::journey::{PingTrace, StageSpan};
@@ -41,6 +45,18 @@ pub struct LayerStats {
     pub mac: StreamingStats,
     /// PHY processing, µs.
     pub phy: StreamingStats,
+}
+
+/// A radio-link failure: one transport block exhausted both its HARQ and
+/// its RLC AM retransmission budgets, and the ping it carried is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RlfEvent {
+    /// Which ping died.
+    pub ping: u64,
+    /// `true` when the downlink leg failed (uplink otherwise).
+    pub dl: bool,
+    /// The fault that dominated the doomed ping, if any.
+    pub dominant: Option<FaultKind>,
 }
 
 /// The output of a ping experiment (`Serialize`-only, like the traces it
@@ -68,6 +84,20 @@ pub struct ExperimentResult {
     pub harq_retx: u64,
     /// Transport blocks abandoned after exhausting the HARQ budget.
     pub harq_failures: u64,
+    /// SR transmissions repeated because the PUCCH was lost (injected).
+    pub sr_retx: u64,
+    /// SR exhaustion events recovered through the four-step RACH.
+    pub rach_recoveries: u64,
+    /// UL grants the scheduler withheld (injected starvation).
+    pub grants_withheld: u64,
+    /// Spurious HARQ retransmissions from corrupted ACK feedback.
+    pub spurious_harq_retx: u64,
+    /// RLC AM recovery rounds entered after HARQ budget exhaustion.
+    pub rlc_escalations: u64,
+    /// Radio-link failures (pings lost after every recovery budget).
+    pub rlf: Vec<RlfEvent>,
+    /// Per-ping deadline classification with fault attribution.
+    pub attribution: FaultAttribution,
     /// Traces of the first few pings (Fig 3).
     pub traces: Vec<PingTrace>,
 }
@@ -98,6 +128,7 @@ pub struct PingExperiment {
     rng_gnb: SimRng,
     rng_ue: SimRng,
     rng_net: SimRng,
+    injector: FaultInjector,
     traces_wanted: usize,
 }
 
@@ -105,6 +136,20 @@ pub struct PingExperiment {
 const RNTI: Rnti = 17;
 const UE_ADDR: u32 = 0x0A00_0001;
 const KEY: u64 = 0x005E_C2E7;
+/// Bound on scheduling retries per ping (grant withholding / starvation);
+/// a ping that cannot be scheduled within this many rounds is lost.
+const MAX_SCHED_ROUNDS: u32 = 64;
+
+/// Outcome of one HARQ cycle over a transport block.
+struct HarqCycle {
+    /// Delay the retransmissions added.
+    extra: Duration,
+    /// Whether the block got through within the HARQ budget.
+    delivered: bool,
+    /// Whether the injected burst overlay (rather than the base channel)
+    /// caused at least one of the losses.
+    burst_caused: bool,
+}
 
 impl PingExperiment {
     /// Builds an experiment from a configuration.
@@ -123,6 +168,7 @@ impl PingExperiment {
             rng_gnb: master.stream("gnb"),
             rng_ue: master.stream("ue"),
             rng_net: master.stream("net"),
+            injector: FaultInjector::new(&config.faults, &master),
             traces_wanted: 3,
             gnb,
             config,
@@ -190,45 +236,103 @@ impl PingExperiment {
         }
     }
 
-    /// Plays out the HARQ loop for one data transmission: samples channel
-    /// loss per attempt; each retransmission costs one HARQ round trip.
-    /// Returns the extra delay (zero when the first attempt succeeds or no
-    /// channel model is configured).
-    fn harq_delay(&mut self, dl_data: bool, result: &mut ExperimentResult) -> Duration {
-        let Some(link) = self.link.as_mut() else {
-            return Duration::ZERO;
-        };
-        let rtt = ran::harq::harq_round_trip(
-            &self.config.duplex,
-            dl_data,
-            Duration::from_micros(50),
-        );
+    /// Plays out one HARQ cycle for a data transmission: samples channel
+    /// loss (base SNR/PER draw plus the injected burst overlay) per
+    /// attempt; each retransmission costs one HARQ round trip.
+    fn harq_cycle(
+        &mut self,
+        dl_data: bool,
+        result: &mut ExperimentResult,
+        ftrace: &mut PingFaultTrace,
+    ) -> HarqCycle {
+        let channel_faulty =
+            self.injector.channel_burst_active() || self.injector.harq_feedback_active();
+        if self.link.is_none() && !channel_faulty {
+            return HarqCycle { extra: Duration::ZERO, delivered: true, burst_caused: false };
+        }
+        let rtt =
+            ran::harq::harq_round_trip(&self.config.duplex, dl_data, Duration::from_micros(50));
         let mut extra = Duration::ZERO;
+        let mut burst_caused = false;
         for attempt in 1..=self.config.harq_max_tx {
-            if !link.packet_lost(&mut self.rng_net) {
-                return extra;
+            let base_lost = match self.link.as_mut() {
+                Some(link) => link.packet_lost(&mut self.rng_net),
+                None => false,
+            };
+            let burst_lost = self.injector.channel_loss();
+            if !base_lost && !burst_lost {
+                // Delivered. An ACK corrupted into a NACK retransmits a
+                // block the receiver already has: capacity wasted, but the
+                // delivery time of *this* packet is unaffected.
+                if self.injector.harq_feedback_corrupted() {
+                    result.spurious_harq_retx += 1;
+                    ftrace.record(FaultKind::HarqFeedback, Duration::ZERO);
+                }
+                return HarqCycle { extra, delivered: true, burst_caused };
+            }
+            if burst_lost && !base_lost {
+                burst_caused = true;
             }
             if attempt == self.config.harq_max_tx {
                 result.harq_failures += 1;
             } else {
                 result.harq_retx += 1;
                 extra += rtt;
+                if burst_lost && !base_lost {
+                    ftrace.record(FaultKind::ChannelBurst, rtt);
+                }
             }
         }
-        extra
+        HarqCycle { extra, delivered: false, burst_caused }
+    }
+
+    /// Delivers one transport block end to end: HARQ first, then RLC AM
+    /// escalation rounds (each a status round trip plus a fresh HARQ
+    /// cycle) when the HARQ budget runs out, radio link failure when the
+    /// RLC budget is exhausted too. Returns the extra delay, `None` on RLF.
+    fn data_delivery(
+        &mut self,
+        dl_data: bool,
+        result: &mut ExperimentResult,
+        ftrace: &mut PingFaultTrace,
+    ) -> Option<Duration> {
+        let mut extra = Duration::ZERO;
+        for round in 0..=self.config.rlc_max_retx {
+            let cycle = self.harq_cycle(dl_data, result, ftrace);
+            extra += cycle.extra;
+            if cycle.delivered {
+                return Some(extra);
+            }
+            if round == self.config.rlc_max_retx {
+                break;
+            }
+            // The receiver's next status report NACKs the SN and the
+            // sender retransmits through a fresh HARQ cycle.
+            result.rlc_escalations += 1;
+            let recovery = ran::harq::rlc_recovery_round_trip(
+                &self.config.duplex,
+                dl_data,
+                Duration::from_micros(50),
+            );
+            extra += recovery;
+            if cycle.burst_caused {
+                ftrace.record(FaultKind::ChannelBurst, recovery);
+            }
+        }
+        None
     }
 
     fn one_ping(&mut self, id: u64, t0: Instant, result: &mut ExperimentResult) {
         let mut trace = PingTrace::new(id);
+        let mut ftrace = PingFaultTrace::new();
         let payload = Bytes::from(make_payload(id, self.config.payload_bytes));
         let cfg = self.config.clone();
         let nu = cfg.duplex.numerology();
 
         // ---------- UPLINK (request) ----------
         // ① APP↓: UE walks the packet down to the RLC queue.
-        let ue_upper = self.sample_ue(|t| &t.sdap)
-            + self.sample_ue(|t| &t.pdcp)
-            + self.sample_ue(|t| &t.rlc);
+        let ue_upper =
+            self.sample_ue(|t| &t.sdap) + self.sample_ue(|t| &t.pdcp) + self.sample_ue(|t| &t.rlc);
         let in_rlc = t0 + ue_upper;
         trace.ul.push(StageSpan::new("APP↓", t0, in_rlc));
 
@@ -252,24 +356,108 @@ impl PingExperiment {
                 (in_rlc + mac_t + ue_phy, None)
             }
             AccessMode::GrantBased => {
-                // SR waits for the next UL opportunity.
-                let sr_op = cfg.duplex.next_ul_opportunity(in_rlc);
-                trace.ul.push(StageSpan::new("wait UL slot", in_rlc, sr_op.tx_start));
+                // SR transmits at UL opportunities until the gNB hears one.
+                // A PUCCH loss (injected) costs one opportunity per retry;
+                // sr-TransMax exhaustion falls back to the four-step RACH
+                // (TS 38.321 §5.4.4), whose Msg3 carries the buffer status.
                 let sr_air = nu.symbol_offset(1); // one-symbol PUCCH SR
-                let sr_rx = sr_op.tx_start + sr_air;
-                trace.ul.push(StageSpan::new("SR", sr_op.tx_start, sr_rx));
-                // gNB decodes the SR: PHY + MAC.
-                let d_phy = self.sample_gnb(|t| &t.phy);
-                let d_mac = self.sample_gnb(|t| &t.mac);
-                result.layers.phy.push(d_phy.as_micros_f64());
-                result.layers.mac.push(d_mac.as_micros_f64());
-                let sr_ready = sr_rx + d_phy + d_mac;
-                trace.ul.push(StageSpan::new("SR decode", sr_rx, sr_ready));
-                // Scheduling happens once per slot: next boundary.
+                let mut sr_proc = SrProcedure::new(cfg.sr);
+                sr_proc.trigger(in_rlc);
+                let mut probe = in_rlc;
+                let mut sr_ready = None;
+                while sr_ready.is_none() {
+                    let sr_op = cfg.duplex.next_ul_opportunity(probe);
+                    if sr_proc.maybe_transmit(sr_op.slot, sr_op.tx_start) {
+                        if self.injector.sr_lost() {
+                            let next = cfg
+                                .duplex
+                                .next_ul_opportunity(cfg.duplex.slot_start(sr_op.slot + 1));
+                            ftrace.record(FaultKind::SrLoss, next.tx_start - sr_op.tx_start);
+                            result.sr_retx += 1;
+                            probe = cfg.duplex.slot_start(sr_op.slot + 1);
+                            continue;
+                        }
+                        let sr_rx = sr_op.tx_start + sr_air;
+                        trace.ul.push(StageSpan::new("wait UL slot", in_rlc, sr_op.tx_start));
+                        trace.ul.push(StageSpan::new("SR", sr_op.tx_start, sr_rx));
+                        // gNB decodes the SR: PHY + MAC.
+                        let d_phy = self.sample_gnb(|t| &t.phy);
+                        let d_mac = self.sample_gnb(|t| &t.mac);
+                        result.layers.phy.push(d_phy.as_micros_f64());
+                        result.layers.mac.push(d_mac.as_micros_f64());
+                        let ready = sr_rx + d_phy + d_mac;
+                        trace.ul.push(StageSpan::new("SR decode", sr_rx, ready));
+                        sr_ready = Some(ready);
+                    } else if sr_proc.needs_rach() {
+                        let giving_up = sr_op.tx_start;
+                        match ran::rach::recovery_latency(
+                            &cfg.rach,
+                            giving_up,
+                            1,
+                            self.injector.recovery_rng(),
+                        ) {
+                            Some(lat) => {
+                                result.rach_recoveries += 1;
+                                ftrace.record(FaultKind::SrLoss, lat);
+                                trace.ul.push(StageSpan::new("RACH", giving_up, giving_up + lat));
+                                sr_proc.on_rach_complete();
+                                sr_ready = Some(giving_up + lat);
+                            }
+                            None => {
+                                // Random access failed too: the UE never
+                                // regains uplink access for this packet.
+                                result.attribution.record_lost(ftrace.dominant());
+                                if result.traces.len() < self.traces_wanted {
+                                    result.traces.push(trace);
+                                }
+                                return;
+                            }
+                        }
+                    } else {
+                        probe = cfg.duplex.slot_start(sr_op.slot + 1);
+                    }
+                }
+                let sr_ready = sr_ready.expect("loop exits with a value");
+                // Scheduling happens once per slot: next boundary. A
+                // withheld grant (injected starvation) is a DCI the UE
+                // never decodes; the gNB re-grants once the slot goes
+                // unused.
                 self.sched.on_sr(RNTI, sr_ready);
-                let boundary_slot = cfg.duplex.slot_index_at(sr_ready) + 1;
-                let decision = self.sched.run_slot(boundary_slot);
-                let grant = decision.ul_grants.first().copied().expect("grant issued");
+                let mut boundary_slot = cfg.duplex.slot_index_at(sr_ready) + 1;
+                let mut grant = None;
+                let mut first_withheld: Option<Instant> = None;
+                for _ in 0..MAX_SCHED_ROUNDS {
+                    let decision = self.sched.run_slot(boundary_slot);
+                    let Some(g) = decision.ul_grants.first().copied() else {
+                        boundary_slot += 1;
+                        continue;
+                    };
+                    if self.injector.grant_withheld() {
+                        result.grants_withheld += 1;
+                        first_withheld = first_withheld.or(Some(g.grant_tx));
+                        let retry = cfg.duplex.slot_start(g.ul.slot + 1);
+                        self.sched.on_sr(RNTI, retry);
+                        boundary_slot = cfg.duplex.slot_index_at(retry) + 1;
+                        continue;
+                    }
+                    grant = Some(g);
+                    break;
+                }
+                let Some(grant) = grant else {
+                    // Starved out of the scheduler entirely.
+                    ftrace.record(
+                        FaultKind::GrantWithheld,
+                        cfg.duplex.slot_start(boundary_slot) - first_withheld.unwrap_or(sr_ready),
+                    );
+                    result.attribution.record_lost(ftrace.dominant());
+                    if result.traces.len() < self.traces_wanted {
+                        result.traces.push(trace);
+                    }
+                    return;
+                };
+                if let Some(first) = first_withheld {
+                    ftrace.record(FaultKind::GrantWithheld, grant.grant_tx - first);
+                }
                 trace.ul.push(StageSpan::new(
                     "SCHE",
                     sr_ready,
@@ -295,10 +483,25 @@ impl PingExperiment {
         trace.ul.push(StageSpan::new("UL data", tx_start, tx_end));
 
         // ⑦ gNB receives: radio, PHY, MAC↑, RLC, PDCP, SDAP, then GTP-U.
-        // Channel loss first costs HARQ rounds (§8's retransmission steps).
-        let tx_end = tx_end + self.harq_delay(false, result);
+        // Channel loss first costs HARQ rounds (§8's retransmission
+        // steps), then RLC AM escalations, then — with every budget
+        // exhausted — the packet is simply gone (radio link failure).
+        let Some(harq_extra) = self.data_delivery(false, result, &mut ftrace) else {
+            result.rlf.push(RlfEvent { ping: id, dl: false, dominant: ftrace.dominant() });
+            result.attribution.record_lost(ftrace.dominant());
+            if result.traces.len() < self.traces_wanted {
+                result.traces.push(trace);
+            }
+            return;
+        };
+        let tx_end = tx_end + harq_extra;
         let rx_radio = self.gnb_radio.rx_radio_latency(ul_samples as u64, &mut self.rng_gnb);
-        let host_rx = tx_end + rx_radio;
+        // An OS-jitter storm on the fronthaul stalls the receive thread.
+        let storm = self.injector.storm_delay();
+        if storm > Duration::ZERO {
+            ftrace.record(FaultKind::JitterStorm, storm);
+        }
+        let host_rx = tx_end + rx_radio + storm;
         trace.ul.push(StageSpan::new("radio", tx_end, host_rx));
         let d_phy = self.sample_gnb(|t| &t.phy);
         let d_mac = self.sample_gnb(|t| &t.mac);
@@ -339,7 +542,11 @@ impl PingExperiment {
             result.integrity_failures += 1;
         }
 
-        let net = self.config.backbone.sample(&mut self.rng_net);
+        let spike = self.injector.backbone_spike();
+        if spike > Duration::ZERO {
+            ftrace.record(FaultKind::BackboneSpike, spike);
+        }
+        let net = self.config.backbone.sample(&mut self.rng_net) + spike;
         let ul_done = decoded_at + net;
         trace.ul.push(StageSpan::new("UPF", decoded_at, ul_done));
         result.ul.record(ul_done - t0);
@@ -347,7 +554,11 @@ impl PingExperiment {
         // ---------- DOWNLINK (reply) ----------
         // ⑧ The server replies immediately; the reply reaches the gNB.
         let dl_t0 = ul_done;
-        let net = self.config.backbone.sample(&mut self.rng_net);
+        let spike = self.injector.backbone_spike();
+        if spike > Duration::ZERO {
+            ftrace.record(FaultKind::BackboneSpike, spike);
+        }
+        let net = self.config.backbone.sample(&mut self.rng_net) + spike;
         let at_gnb = dl_t0 + net;
         let d_sdap = self.sample_gnb(|t| &t.sdap);
         let d_pdcp = self.sample_gnb(|t| &t.pdcp);
@@ -366,10 +577,7 @@ impl PingExperiment {
             .expect("downlink encode");
         let dl_pdu = dl_pdus[0].clone();
         let dl_samples = phy::transport::sample_count(
-            phy::transport::ShChConfig {
-                modulation: phy::modulation::Modulation::Qpsk,
-                c_init: 0,
-            },
+            phy::transport::ShChConfig { modulation: phy::modulation::Modulation::Qpsk, c_init: 0 },
             dl_pdu.len(),
         );
 
@@ -378,9 +586,24 @@ impl PingExperiment {
         // which (srsRAN-style) happens one slot before the air time — that
         // pull instant ends the Table 2 "RLC-q" interval.
         self.sched.on_dl_data(RNTI, dl_pdu.len(), in_rlc_q);
-        let boundary_slot = cfg.duplex.slot_index_at(in_rlc_q) + 1;
-        let decision = self.sched.run_slot(boundary_slot);
-        let assign = decision.dl_assignments.first().copied().expect("assignment issued");
+        let mut boundary_slot = cfg.duplex.slot_index_at(in_rlc_q) + 1;
+        let mut assignment = None;
+        for _ in 0..MAX_SCHED_ROUNDS {
+            let decision = self.sched.run_slot(boundary_slot);
+            if let Some(a) = decision.dl_assignments.first().copied() {
+                assignment = Some(a);
+                break;
+            }
+            boundary_slot += 1;
+        }
+        let Some(assign) = assignment else {
+            // The scheduler never served the reply: the ping is lost.
+            result.attribution.record_lost(ftrace.dominant());
+            if result.traces.len() < self.traces_wanted {
+                result.traces.push(trace);
+            }
+            return;
+        };
         let dl_tx = assign.dl.tx_start;
         let decision_time = cfg.duplex.slot_start(boundary_slot);
         // TB construction starts up to two slots before the air time (the
@@ -396,27 +619,43 @@ impl PingExperiment {
         let d_phy = self.sample_gnb(|t| &t.phy);
         result.layers.mac.push(d_mac.as_micros_f64());
         result.layers.phy.push(d_phy.as_micros_f64());
-        let submit =
-            self.gnb_radio.tx_radio_latency(dl_samples as u64, &mut self.rng_gnb);
-        let samples_at_rh = tb_build + d_mac + d_phy + submit;
+        let submit = self.gnb_radio.tx_radio_latency(dl_samples as u64, &mut self.rng_gnb);
+        // A fronthaul storm stalls the submission thread — exactly the §4
+        // failure mode: samples that miss their slot corrupt it.
+        let storm = self.injector.storm_delay();
+        let samples_at_rh = tb_build + d_mac + d_phy + submit + storm;
         let outcome = self.ring.submit(samples_at_rh, dl_tx);
         let dl_tx = if outcome.is_on_time() {
+            if storm > Duration::ZERO {
+                ftrace.record(FaultKind::JitterStorm, Duration::ZERO);
+            }
             dl_tx
         } else {
             // Underrun: the slot is corrupted; retransmit at the next DL
             // opportunity the samples can make.
-            cfg.duplex.next_dl_opportunity(samples_at_rh).tx_start
+            let retry = cfg.duplex.next_dl_opportunity(samples_at_rh).tx_start;
+            if storm > Duration::ZERO {
+                ftrace.record(FaultKind::JitterStorm, retry - dl_tx);
+            }
+            retry
         };
         let air = cfg.data_air_time(dl_pdu.len());
-        let dl_rx_end = dl_tx + air + self.harq_delay(true, result);
+        let Some(dl_extra) = self.data_delivery(true, result, &mut ftrace) else {
+            result.rlf.push(RlfEvent { ping: id, dl: true, dominant: ftrace.dominant() });
+            result.attribution.record_lost(ftrace.dominant());
+            if result.traces.len() < self.traces_wanted {
+                result.traces.push(trace);
+            }
+            return;
+        };
+        let dl_rx_end = dl_tx + air + dl_extra;
         trace.dl.push(StageSpan::new("DL data", dl_tx, dl_rx_end));
 
         // ⑪ UE receives and walks the packet up to the application.
         let ue_rx_radio = self.ue_radio.rx_radio_latency(dl_samples as u64, &mut self.rng_ue);
         let ue_phy = self.sample_ue(|t| &t.phy);
-        let ue_upper = self.sample_ue(|t| &t.rlc)
-            + self.sample_ue(|t| &t.pdcp)
-            + self.sample_ue(|t| &t.sdap);
+        let ue_upper =
+            self.sample_ue(|t| &t.rlc) + self.sample_ue(|t| &t.pdcp) + self.sample_ue(|t| &t.sdap);
         let delivered = dl_rx_end + ue_rx_radio + ue_phy + ue_upper;
         trace.dl.push(StageSpan::new("PHY↑", dl_rx_end, delivered));
 
@@ -446,7 +685,9 @@ impl PingExperiment {
         }
 
         result.dl.record(delivered - dl_t0);
-        result.rtt.record(delivered - t0);
+        let rtt = delivered - t0;
+        result.rtt.record(rtt);
+        result.attribution.record_delivered(rtt <= cfg.deadline, ftrace.dominant());
         if result.traces.len() < self.traces_wanted {
             result.traces.push(trace);
         }
@@ -527,7 +768,11 @@ mod tests {
         assert!((res.layers.phy.mean() - 41.55).abs() < 5.0, "PHY {}", res.layers.phy.mean());
         // RLC-q dominates everything else by an order of magnitude (the
         // paper's central Table 2 observation).
-        assert!(res.layers.rlcq.mean() > 10.0 * res.layers.rlc.mean(), "RLC-q {}", res.layers.rlcq.mean());
+        assert!(
+            res.layers.rlcq.mean() > 10.0 * res.layers.rlc.mean(),
+            "RLC-q {}",
+            res.layers.rlcq.mean()
+        );
         assert!(res.layers.rlcq.mean() > 300.0, "RLC-q {}", res.layers.rlcq.mean());
     }
 

@@ -30,7 +30,7 @@ pub mod node;
 
 pub use coexistence::{coexistence_sweep, CoexistencePoint, CoexistencePolicy};
 pub use config::StackConfig;
-pub use experiment::{ExperimentResult, PingExperiment};
+pub use experiment::{ExperimentResult, PingExperiment, RlfEvent};
 pub use journey::{PingTrace, StageSpan};
 pub use multi_ue::{run_multi_ue, scalability_sweep, MultiUeConfig, MultiUeResult};
 pub use node::{GnbStack, UeStack};

@@ -169,11 +169,9 @@ fn ul_op_ordinal(duplex: &phy::duplex::Duplex, slot: u64) -> u64 {
         phy::duplex::Duplex::Fdd { .. } => slot,
         phy::duplex::Duplex::Tdd(c) => {
             let per = c.slots_per_period();
-            let ul_per_period =
-                (0..per).filter(|&s| c.slot_kind(s).has_ul()).count() as u64;
+            let ul_per_period = (0..per).filter(|&s| c.slot_kind(s).has_ul()).count() as u64;
             let full = slot / per;
-            let within =
-                (0..(slot % per)).filter(|&s| c.slot_kind(s).has_ul()).count() as u64;
+            let within = (0..(slot % per)).filter(|&s| c.slot_kind(s).has_ul()).count() as u64;
             full * ul_per_period + within
         }
     }
@@ -204,8 +202,8 @@ fn run_grant_based(config: &MultiUeConfig) -> MultiUeResult {
     let air = config.base.data_air_time(config.base.payload_bytes + 32);
 
     let serve = |decision: ran::sched::SlotDecision,
-                     outstanding: &mut BTreeMap<u16, VecDeque<Instant>>,
-                     ul: &mut LatencyRecorder| {
+                 outstanding: &mut BTreeMap<u16, VecDeque<Instant>>,
+                 ul: &mut LatencyRecorder| {
         for grant in decision.ul_grants {
             let queue = outstanding.get_mut(&grant.rnti).expect("grant for a known UE");
             let arrival = queue.pop_front().expect("grant matches an outstanding packet");

@@ -106,7 +106,10 @@ impl UeStack {
         let mut out = Vec::new();
         loop {
             // Reserve room for the MAC subheaders (data + BSR).
-            let bsr = MacSubPdu::new(mac::lcid::SHORT_BSR, mac::encode_short_bsr(0, self.rlc.queued_bytes()));
+            let bsr = MacSubPdu::new(
+                mac::lcid::SHORT_BSR,
+                mac::encode_short_bsr(0, self.rlc.queued_bytes()),
+            );
             let overhead = bsr.encoded_len() + 3; // data subheader worst case
             if grant_bytes <= overhead + 1 {
                 return Err(StackError::Mac(format!("grant {grant_bytes} B too small")));
@@ -272,10 +275,8 @@ impl GnbStack {
         // Route by DL TEID back to the RNTI.
         let rnti = (gtp.teid - 0x100) as Rnti;
         let ctx = self.ctx(rnti)?;
-        let (_drb, sdap_pdu) = ctx
-            .sdap
-            .encode_pdu(PING_QFI, &inner)
-            .map_err(|e| StackError::Sdap(e.to_string()))?;
+        let (_drb, sdap_pdu) =
+            ctx.sdap.encode_pdu(PING_QFI, &inner).map_err(|e| StackError::Sdap(e.to_string()))?;
         let pdcp_pdu = ctx.pdcp.tx_encode(&sdap_pdu);
         ctx.rlc.tx_sdu(pdcp_pdu);
         let mut out = Vec::new();
@@ -386,10 +387,7 @@ mod tests {
     #[test]
     fn unknown_rnti_rejected() {
         let mut gnb = GnbStack::new();
-        assert_eq!(
-            gnb.decode_uplink(99, &Bytes::new()).unwrap_err(),
-            StackError::UnknownRnti(99)
-        );
+        assert_eq!(gnb.decode_uplink(99, &Bytes::new()).unwrap_err(), StackError::UnknownRnti(99));
     }
 
     #[test]

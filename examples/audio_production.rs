@@ -65,8 +65,7 @@ fn main() {
                     // Lost on air: NACK so the AM entity requeues it (the
                     // stand-in for the receiver's status timer).
                     let sn = amd_sn(&pdu);
-                    let status =
-                        StatusPdu { ack_sn: sn.wrapping_add(1) % 4096, nacks: vec![sn] };
+                    let status = StatusPdu { ack_sn: sn.wrapping_add(1) % 4096, nacks: vec![sn] };
                     let _ = mic.rx_pdu(&status.encode()).expect("nack ok");
                     continue;
                 }

@@ -25,8 +25,7 @@ fn main() {
     let deadline_us: u64 = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(500);
     let deadline = Duration::from_micros(deadline_us);
 
-    let table =
-        feasibility_table_with_deadline(&ProcessingBudget::zero(), deadline);
+    let table = feasibility_table_with_deadline(&ProcessingBudget::zero(), deadline);
     println!("feasibility against a {deadline} one-way deadline:\n{}", table.render());
 
     for (name, cfg) in ConfigUnderTest::table1_columns() {

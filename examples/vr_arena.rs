@@ -62,7 +62,10 @@ fn fr2_run(cfg: Fr2LinkConfig, frames: u64, seed: u64) -> LatencyRecorder {
 }
 
 fn main() {
-    println!("VR arena uplink pose stream — 10 ms transport budget, {:.0}% of frames\n", TARGET * 100.0);
+    println!(
+        "VR arena uplink pose stream — 10 ms transport budget, {:.0}% of frames\n",
+        TARGET * 100.0
+    );
 
     // Option A: the paper's feasible FR1 design.
     let mut exp = PingExperiment::new(StackConfig::ideal_urllc_dm().with_seed(99));

@@ -1,0 +1,24 @@
+#![allow(clippy::all)]
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace decorates config structs with `#[derive(Serialize,
+//! Deserialize)]` to keep them serialisation-ready, but never invokes a
+//! serialiser (reports are written via the bench crate's own CSV writer).
+//! With no registry access at build time, this stand-in supplies the two
+//! trait names as blanket-implemented markers plus no-op derives, keeping
+//! every annotation in the tree compiling unchanged.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that are serialisation-ready. Blanket-implemented:
+/// every type qualifies, since nothing in the workspace serialises.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that are deserialisation-ready. Blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -44,6 +44,11 @@ fn protocol_only(duplex: Duplex, access: AccessMode) -> StackConfig {
         payload_bytes: 16,
         link: None,
         harq_max_tx: 1,
+        rlc_max_retx: 4,
+        sr: ran::sr::SrConfig::default(),
+        rach: ran::RachConfig::default(),
+        deadline: Duration::from_millis(8),
+        faults: sim::FaultPlan::none(),
         seed: 0,
     }
 }

@@ -1,6 +1,8 @@
-//! Failure injection across crates: channel loss with RLC AM recovery,
-//! radio underruns from insufficient scheduler margin, SR exhaustion, and
-//! PDCP behaviour under loss and reordering.
+//! Failure injection across crates, driven by the unified [`sim::FaultPlan`]
+//! subsystem: burst channel loss with RLC AM recovery, radio underruns from
+//! insufficient scheduler margin, SR exhaustion with RACH re-access, grant
+//! withholding, HARQ feedback corruption, and radio link failure — each
+//! checked end to end through the composed stack.
 
 use bytes::Bytes;
 use channel::{Fr1Link, Fr1LinkConfig};
@@ -8,16 +10,34 @@ use radio::{RadioHead, RadioHeadConfig, TxRing};
 use ran::rlc::{AmConfig, RlcAmEntity};
 use ran::sched::AccessMode;
 use ran::sr::{SrConfig, SrProcedure, SrState};
-use sim::{Duration, Instant, SimRng};
+use sim::{
+    Duration, FaultInjector, FaultKind, FaultPlan, GilbertElliott, Instant, LossGate, SimRng,
+};
 use stack::{PingExperiment, StackConfig};
+
+/// A burst-loss plan with roughly 14 % mean loss (stationary bad-state
+/// probability 0.25 × 50 % loss, plus 2 % good-state loss).
+fn bursty_plan() -> FaultPlan {
+    FaultPlan {
+        channel_burst: Some(GilbertElliott {
+            p_enter_bad: 0.1,
+            p_exit_bad: 0.3,
+            loss_good: 0.02,
+            loss_bad: 0.5,
+        }),
+        ..FaultPlan::none()
+    }
+}
 
 #[test]
 fn rlc_am_recovers_from_lossy_channel_end_to_end() {
-    // Push 1000 SDUs over a 10 % lossy link; AM must deliver all of them
-    // in order despite the losses.
+    // Push 1000 SDUs through a Gilbert–Elliott burst-loss process drawn
+    // from a FaultPlan; AM must deliver all of them in order despite the
+    // losses (data PDUs and status PDUs are both subject to the bursts).
+    let plan = bursty_plan();
+    let mut injector = FaultInjector::new(&plan, &SimRng::from_seed(42));
     let mut tx = RlcAmEntity::new(AmConfig { max_retx: 8, poll_pdu: 1 });
     let mut rx = RlcAmEntity::new(AmConfig::default());
-    let mut rng = SimRng::from_seed(42).stream("loss");
     let n = 1_000u64;
     let mut delivered: Vec<Bytes> = Vec::new();
     for i in 0..n {
@@ -48,14 +68,14 @@ fn rlc_am_recovers_from_lossy_channel_end_to_end() {
                 tx.rx_pdu(&status.encode()).expect("nack");
                 continue;
             };
-            if rng.chance(0.10) {
-                continue; // lost on air
+            if injector.channel_loss() {
+                continue; // lost in a burst
             }
             let out = rx.rx_pdu(&pdu).expect("rx");
             delivered.extend(out.delivered);
-            // Return the status (also 10 % lossy).
+            // Return the status (riding the same bursty channel).
             while let Some(status) = rx.pull_pdu(1 << 14).expect("status") {
-                if !rng.chance(0.10) {
+                if !injector.channel_loss() {
                     tx.rx_pdu(&status).expect("status rx");
                 }
             }
@@ -65,6 +85,106 @@ fn rlc_am_recovers_from_lossy_channel_end_to_end() {
     for (i, d) in delivered.iter().enumerate() {
         assert_eq!(d, &Bytes::from((i as u64).to_be_bytes().to_vec()), "order broken at {i}");
     }
+    // The chain really did fire: observed loss in the neighbourhood of the
+    // plan's stationary mean.
+    let observed = injector.tally().get(FaultKind::ChannelBurst);
+    assert!(observed > 100, "burst process barely fired: {observed}");
+}
+
+#[test]
+fn sr_exhaustion_recovers_via_rach_end_to_end() {
+    // Every SR transmission is lost; after sr-TransMax the UE must fall
+    // back to RACH and still deliver every ping (Msg3 carries the buffer
+    // status), at a latency penalty.
+    let n = 20u64;
+    let mut cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(11);
+    cfg.sr.max_transmissions = 2;
+    cfg.faults.sr_loss = Some(LossGate { prob: 1.0 });
+    let mut exp = PingExperiment::new(cfg);
+    let res = exp.run(n);
+    assert_eq!(res.rach_recoveries, n, "every ping should re-access via RACH");
+    assert!(res.sr_retx >= n, "lost SRs should be retried: {}", res.sr_retx);
+    assert_eq!(res.attribution.lost, 0, "RACH fallback must not lose pings");
+    assert_eq!(res.attribution.total(), n);
+
+    // The recovery is visible as latency: slower than the fault-free run.
+    let mut base =
+        PingExperiment::new(StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(11));
+    let base_res = base.run(n);
+    let (mut faulty_rtt, mut base_rtt) = (res.rtt, base_res.rtt);
+    assert!(
+        faulty_rtt.summary().mean_us > base_rtt.summary().mean_us + 1_000.0,
+        "RACH re-access should cost milliseconds"
+    );
+}
+
+#[test]
+fn chaos_plan_causes_rlf_and_attributes_losses() {
+    // A catastrophic burst channel with a starved HARQ/RLC budget: pings
+    // must be lost through the *typed* radio-link-failure path, attributed
+    // to the burst process — never silently.
+    let n = 50u64;
+    let mut cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(5);
+    cfg.harq_max_tx = 1;
+    cfg.rlc_max_retx = 1;
+    cfg.faults.channel_burst =
+        Some(GilbertElliott { p_enter_bad: 0.9, p_exit_bad: 0.05, loss_good: 0.8, loss_bad: 1.0 });
+    let mut exp = PingExperiment::new(cfg);
+    let res = exp.run(n);
+    assert!(!res.rlf.is_empty(), "expected radio link failures");
+    assert!(res.attribution.lost > 0);
+    assert_eq!(res.attribution.lost, res.rlf.len() as u64, "every loss is a typed RLF");
+    assert!(
+        res.attribution.lost_by.get(FaultKind::ChannelBurst) > 0,
+        "losses must be attributed to the burst process"
+    );
+    for ev in &res.rlf {
+        assert_eq!(ev.dominant, Some(FaultKind::ChannelBurst), "ping {}", ev.ping);
+    }
+    assert_eq!(res.attribution.total(), n, "every ping classified");
+    assert!(res.rlc_escalations > 0, "HARQ exhaustion should escalate to RLC AM");
+}
+
+#[test]
+fn grant_withholding_delays_but_recovers() {
+    // Half the uplink grants are withheld: the scheduler re-arms on the
+    // pending SR, so pings slow down but none are lost.
+    let n = 100u64;
+    let mut cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(8);
+    cfg.faults.grant_withhold = Some(LossGate { prob: 0.5 });
+    let mut exp = PingExperiment::new(cfg);
+    let res = exp.run(n);
+    assert!(res.grants_withheld > n / 4, "withholding barely fired: {}", res.grants_withheld);
+    assert_eq!(res.attribution.lost, 0, "withheld grants must be retried, not lost");
+
+    let mut base =
+        PingExperiment::new(StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(8));
+    let base_res = base.run(n);
+    let (mut faulty_rtt, mut base_rtt) = (res.rtt, base_res.rtt);
+    assert!(
+        faulty_rtt.summary().mean_us > base_rtt.summary().mean_us,
+        "withheld grants should show up as latency"
+    );
+}
+
+#[test]
+fn feedback_corruption_retransmits_without_delay() {
+    // ACK→NACK corruption wastes air time (spurious retransmissions) but
+    // never delays delivery — the receiver already decoded the block. The
+    // latency distribution must be byte-identical to the uncorrupted run.
+    let n = 100u64;
+    let mut cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(13);
+    cfg.link = Some(Fr1LinkConfig::indoor_good());
+    let mut corrupted_cfg = cfg.clone();
+    corrupted_cfg.faults.harq_feedback = Some(LossGate { prob: 1.0 });
+
+    let clean = PingExperiment::new(cfg).run(n);
+    let corrupted = PingExperiment::new(corrupted_cfg).run(n);
+    assert!(corrupted.spurious_harq_retx > 0, "corrupted ACKs should retransmit");
+    assert_eq!(clean.spurious_harq_retx, 0);
+    assert_eq!(corrupted.rtt.samples_us(), clean.rtt.samples_us(), "delivery times unchanged");
+    assert_eq!(corrupted.ul.samples_us(), clean.ul.samples_us());
+    assert_eq!(corrupted.dl.samples_us(), clean.dl.samples_us());
 }
 
 #[test]
@@ -131,6 +251,9 @@ fn fr1_loss_rate_reacts_to_snr() {
         strong_losses += u32::from(strong.packet_lost(&mut rng));
         weak_losses += u32::from(weak.packet_lost(&mut rng));
     }
-    assert!(weak_losses > 100 * strong_losses.max(1) / 10, "weak {weak_losses} strong {strong_losses}");
+    assert!(
+        weak_losses > 100 * strong_losses.max(1) / 10,
+        "weak {weak_losses} strong {strong_losses}"
+    );
     assert!(weak_losses > 5_000, "cell edge should lose >10%: {weak_losses}");
 }

@@ -49,11 +49,8 @@ fn measured_testbed_p99_admits_only_the_looser_classes() {
     let mut exp = PingExperiment::new(cfg);
     let mut res = exp.run(400);
     let p99 = Duration::from_micros_f64(res.ul.quantile_us(0.99));
-    let admitted: Vec<u8> = FiveQi::TABLE
-        .iter()
-        .filter(|q| q.admits(p99, RAN_SHARE))
-        .map(|q| q.value)
-        .collect();
+    let admitted: Vec<u8> =
+        FiveQi::TABLE.iter().filter(|q| q.admits(p99, RAN_SHARE)).map(|q| q.value).collect();
     // Voice/video-class budgets (50 ms+) admit the testbed; the 5 ms
     // delay-critical ones must not.
     assert!(admitted.contains(&1), "100 ms voice budget admits: {admitted:?}");

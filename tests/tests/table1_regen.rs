@@ -29,9 +29,14 @@ fn table1_regenerates_exactly() {
 fn fig4_headline_numbers() {
     let dm = ConfigUnderTest::TddCommon(phy::TddConfig::dm_minimal());
     let zero = ProcessingBudget::zero();
-    assert_eq!(worst_case(&dm, Direction::UplinkGrantFree, &zero).latency, Duration::from_micros(500));
+    assert_eq!(
+        worst_case(&dm, Direction::UplinkGrantFree, &zero).latency,
+        Duration::from_micros(500)
+    );
     assert_eq!(worst_case(&dm, Direction::Downlink, &zero).latency, Duration::from_micros(500));
-    assert!(worst_case(&dm, Direction::UplinkGrantBased, &zero).latency > Duration::from_micros(500));
+    assert!(
+        worst_case(&dm, Direction::UplinkGrantBased, &zero).latency > Duration::from_micros(500)
+    );
 }
 
 #[test]
@@ -40,7 +45,9 @@ fn relaxing_the_deadline_flips_verdicts_monotonically() {
     let deadlines = [250u64, 500, 750, 1_000, 2_000, 5_000];
     let tables: Vec<_> = deadlines
         .iter()
-        .map(|&us| feasibility_table_with_deadline(&ProcessingBudget::zero(), Duration::from_micros(us)))
+        .map(|&us| {
+            feasibility_table_with_deadline(&ProcessingBudget::zero(), Duration::from_micros(us))
+        })
         .collect();
     for w in tables.windows(2) {
         for (a, b) in w[0].cells.iter().zip(w[1].cells.iter()) {
@@ -64,11 +71,7 @@ fn worst_case_is_within_one_period_plus_handshake() {
         let period = cfg.analysis_period().max(cfg.slot_duration() * 2);
         for dir in Direction::TABLE1_ROWS {
             let wc = worst_case(&cfg, dir, &zero);
-            assert!(
-                wc.latency <= period * 3,
-                "{name} {dir:?}: {} exceeds 3 periods",
-                wc.latency
-            );
+            assert!(wc.latency <= period * 3, "{name} {dir:?}: {} exceeds 3 periods", wc.latency);
             assert!(wc.latency > Duration::ZERO);
         }
     }
