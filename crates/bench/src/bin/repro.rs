@@ -14,7 +14,9 @@ use radio::{InterfaceKind, RadioHead, RadioHeadConfig};
 use ran::sched::AccessMode;
 use sim::{Duration, SimRng};
 use stack::{PingExperiment, StackConfig};
-use urllc_bench::report::{ascii_histogram, ascii_series, to_csv, write_artifact};
+use urllc_bench::report::{
+    ascii_histogram, ascii_series, summarize_chaos_recovery, to_csv, write_artifact,
+};
 use urllc_core::feasibility::{feasibility_table, paper_table1};
 use urllc_core::model::{ConfigUnderTest, ProcessingBudget};
 use urllc_core::reliability::{margin_sweep, min_margin_for};
@@ -50,6 +52,7 @@ fn main() {
         "sixg" => sixg(),
         "coexist" => coexist(),
         "chaos" => chaos(pings),
+        "recovery" => recovery(pings),
         "all" => {
             table1();
             table2(pings);
@@ -69,10 +72,11 @@ fn main() {
             sixg();
             coexist();
             chaos(pings);
+            recovery(pings);
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|harq|rach|sixg|coexist|chaos|all [--pings N]");
+            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|harq|rach|sixg|coexist|chaos|recovery|all [--pings N]");
             std::process::exit(2);
         }
     }
@@ -581,14 +585,21 @@ fn chaos(pings: u64) {
                 protocol_miss: (p_protocol * shift_window).min(1.0),
             };
             let mean_rtt_ms = res.rtt.summary().mean_us / 1000.0;
+            let (rec_p50, rec_p99) = if res.recovery.count() > 0 {
+                (res.recovery.quantile_us(0.5), res.recovery.quantile_us(0.99))
+            } else {
+                (0.0, 0.0)
+            };
             println!(
                 "margin {m} slots  intensity {intensity:>4.2}: miss {miss:.4} (model {:.4})  \
-                 on-time {:>4} late {:>3} lost {:>3}  rlf {:>2}  mean RTT {mean_rtt_ms:.2} ms",
+                 on-time {:>4} late {:>3} lost {:>3}  rlf {:>2} recovered {:>2}  \
+                 mean RTT {mean_rtt_ms:.2} ms",
                 model.miss_probability(),
                 att.on_time,
                 att.late,
                 att.lost,
                 res.rlf.len(),
+                res.recovered,
             );
             rows.push(vec![
                 format!("{intensity}"),
@@ -605,6 +616,9 @@ fn chaos(pings: u64) {
                 res.rach_recoveries.to_string(),
                 res.grants_withheld.to_string(),
                 format!("{mean_rtt_ms:.3}"),
+                res.recovered.to_string(),
+                format!("{rec_p50:.1}"),
+                format!("{rec_p99:.1}"),
             ]);
         }
     }
@@ -612,28 +626,139 @@ fn chaos(pings: u64) {
         "miss probability monotone in intensity at every margin: {}",
         if monotone { "YES" } else { "NO" }
     );
-    save(
-        "chaos.csv",
-        &to_csv(
-            &[
-                "intensity",
-                "margin_slots",
-                "margin_us",
-                "pings",
-                "miss_prob",
-                "model_miss",
-                "on_time",
-                "late",
-                "lost",
-                "rlf",
-                "sr_retx",
-                "rach_recoveries",
-                "grants_withheld",
-                "mean_rtt_ms",
-            ],
-            &rows,
-        ),
+    let csv = to_csv(
+        &[
+            "intensity",
+            "margin_slots",
+            "margin_us",
+            "pings",
+            "miss_prob",
+            "model_miss",
+            "on_time",
+            "late",
+            "lost",
+            "rlf",
+            "sr_retx",
+            "rach_recoveries",
+            "grants_withheld",
+            "mean_rtt_ms",
+            "recovered",
+            "recovery_p50_us",
+            "recovery_p99_us",
+        ],
+        &rows,
     );
+    if let Some(s) = summarize_chaos_recovery(&csv) {
+        print!("{}", s.render());
+    }
+    save("chaos.csv", &csv);
+}
+
+/// Recovery study: RRC re-establishment after RLF under a seeded burst
+/// plan, cross-checked against the closed-form
+/// [`urllc_core::RecoveryLatencyModel`], plus GTP-U path supervision
+/// failing over the N3 backbone.
+fn recovery(pings: u64) {
+    banner("Recovery — RLF re-establishment and GTP-U path supervision");
+    let n = (pings / 10).max(200);
+
+    // (a) A burst-loss plan harsh enough to force RLF: HARQ and RLC
+    // budgets small, long deep fades.
+    let mut cfg = StackConfig::testbed_dddu(AccessMode::GrantFree, true).with_seed(9);
+    cfg.harq_max_tx = 2;
+    cfg.rlc_max_retx = 1;
+    cfg.faults.channel_burst = Some(sim::GilbertElliott {
+        p_enter_bad: 0.25,
+        p_exit_bad: 0.5,
+        loss_good: 0.05,
+        loss_bad: 1.0,
+    });
+    let model = urllc_core::RecoveryLatencyModel::from_config(&cfg);
+    let mut exp = PingExperiment::new(cfg);
+    exp.keep_traces(n as usize);
+    let mut res = exp.run(n);
+
+    if let Some(ev) = res.rlf.iter().find(|ev| ev.recovered) {
+        println!(
+            "ping {} hit RLF on its {} leg and completed via re-establishment — its trace:",
+            ev.ping,
+            if ev.dl { "downlink" } else { "uplink" }
+        );
+        print!("{}", res.traces[ev.ping as usize].render());
+    }
+    let unrecovered = res.rlf.iter().filter(|ev| !ev.recovered).count();
+    println!(
+        "{n} pings: {} RLF events, {} recovered, {} lost for good \
+         (integrity failures: {})",
+        res.rlf.len(),
+        res.recovered,
+        unrecovered,
+        res.integrity_failures
+    );
+    let (p50, p99, max) = if res.recovery.count() > 0 {
+        (
+            res.recovery.quantile_us(0.5),
+            res.recovery.quantile_us(0.99),
+            res.recovery.summary().max_us,
+        )
+    } else {
+        (0.0, 0.0, 0.0)
+    };
+    println!("simulated recovery detour: p50 {p50:.0} µs  p99 {p99:.0} µs  max {max:.0} µs");
+    println!(
+        "closed-form worst case:    UL {}  DL {}  (control plane {})",
+        model.worst_case(false),
+        model.worst_case(true),
+        model.control_plane
+    );
+    let bound_us = model.worst_case_any().as_micros_f64();
+    let bounded = res.recovery.samples_us().iter().all(|&us| us <= bound_us);
+    println!(
+        "every simulated detour within the closed form: {}",
+        if bounded { "YES" } else { "NO" }
+    );
+
+    // (b) N3 path outages: supervision detects, fails over, restores.
+    let mut path_cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(10);
+    path_cfg.faults.path_failure = Some(sim::PathFailureConfig { enter: 0.15, stay: 0.6 });
+    let path_res = PingExperiment::new(path_cfg).run(n);
+    let restored = path_res
+        .path_events
+        .iter()
+        .filter(|ev| ev.kind == corenet::PathEventKind::PathRestored)
+        .count();
+    println!(
+        "N3 supervision over {n} pings: {} failovers, {} restorations, \
+         probes sent {} / lost {}, detection charge {} per outage",
+        path_res.path_failovers,
+        restored,
+        path_res.path_probes.0,
+        path_res.path_probes.1,
+        model.path_detection
+    );
+
+    let dur = |d: sim::Duration| format!("{:.1}", d.as_micros_f64());
+    let rows = vec![
+        vec!["model_control_plane_us".into(), dur(model.control_plane)],
+        vec!["model_status_exchange_ul_us".into(), dur(model.status_exchange_ul)],
+        vec!["model_status_exchange_dl_us".into(), dur(model.status_exchange_dl)],
+        vec!["model_redelivery_ul_us".into(), dur(model.redelivery_ul)],
+        vec!["model_redelivery_dl_us".into(), dur(model.redelivery_dl)],
+        vec!["model_worst_case_ul_us".into(), dur(model.worst_case(false))],
+        vec!["model_worst_case_dl_us".into(), dur(model.worst_case(true))],
+        vec!["model_path_detection_us".into(), dur(model.path_detection)],
+        vec!["sim_rlf_events".into(), res.rlf.len().to_string()],
+        vec!["sim_recovered".into(), res.recovered.to_string()],
+        vec!["sim_recovery_failures".into(), res.recovery_failures.to_string()],
+        vec!["sim_recovery_p50_us".into(), format!("{p50:.1}")],
+        vec!["sim_recovery_p99_us".into(), format!("{p99:.1}")],
+        vec!["sim_recovery_max_us".into(), format!("{max:.1}")],
+        vec!["sim_detours_bounded".into(), bounded.to_string()],
+        vec!["sim_path_failovers".into(), path_res.path_failovers.to_string()],
+        vec!["sim_path_probes_sent".into(), path_res.path_probes.0.to_string()],
+        vec!["sim_path_probes_lost".into(), path_res.path_probes.1.to_string()],
+    ];
+    save("recovery.csv", &to_csv(&["quantity", "value"], &rows));
 }
 
 fn save(name: &str, contents: &str) {

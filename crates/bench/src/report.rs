@@ -57,6 +57,52 @@ pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Aggregate of the recovery columns of `chaos.csv`: how many pings
+/// completed via RRC re-establishment across the sweep, and the worst
+/// recovery-detour quantiles any cell observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosRecoverySummary {
+    /// Data rows parsed (sweep cells).
+    pub rows: usize,
+    /// Sum of the `recovered` column: pings delivered via re-establishment.
+    pub total_recovered: u64,
+    /// Largest per-cell median recovery detour, µs.
+    pub worst_p50_us: f64,
+    /// Largest per-cell p99 recovery detour, µs.
+    pub worst_p99_us: f64,
+}
+
+impl ChaosRecoverySummary {
+    /// One-paragraph ASCII rendering for the chaos banner.
+    pub fn render(&self) -> String {
+        format!(
+            "recovery across the sweep: {} pings delivered via re-establishment \
+             ({} cells); worst cell p50 {:.0} µs, p99 {:.0} µs\n",
+            self.total_recovered, self.rows, self.worst_p50_us, self.worst_p99_us
+        )
+    }
+}
+
+/// Parses the `recovered` / `recovery_p50_us` / `recovery_p99_us` columns
+/// out of a chaos-sweep CSV (header + rows, as written by `repro chaos`).
+/// Returns `None` if any of the three columns is missing or malformed.
+pub fn summarize_chaos_recovery(csv: &str) -> Option<ChaosRecoverySummary> {
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next()?.split(',').collect();
+    let col = |name: &str| header.iter().position(|h| *h == name);
+    let (rec, p50, p99) = (col("recovered")?, col("recovery_p50_us")?, col("recovery_p99_us")?);
+    let mut sum =
+        ChaosRecoverySummary { rows: 0, total_recovered: 0, worst_p50_us: 0.0, worst_p99_us: 0.0 };
+    for line in lines.filter(|l| !l.trim().is_empty()) {
+        let fields: Vec<&str> = line.split(',').collect();
+        sum.rows += 1;
+        sum.total_recovered += fields.get(rec)?.parse::<u64>().ok()?;
+        sum.worst_p50_us = sum.worst_p50_us.max(fields.get(p50)?.parse().ok()?);
+        sum.worst_p99_us = sum.worst_p99_us.max(fields.get(p99)?.parse().ok()?);
+    }
+    Some(sum)
+}
+
 /// Writes an artifact under `results/` (creating the directory), returning
 /// the path written.
 pub fn write_artifact(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
@@ -104,5 +150,30 @@ mod tests {
     #[should_panic(expected = "arity")]
     fn csv_rejects_ragged_rows() {
         to_csv(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn chaos_recovery_summary_aggregates_the_new_columns() {
+        let csv = "intensity,recovered,recovery_p50_us,recovery_p99_us,lost\n\
+                   0.1,3,1200.5,2500.0,1\n\
+                   0.4,7,1400.0,3100.25,2\n";
+        let s = summarize_chaos_recovery(csv).expect("columns present");
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.total_recovered, 10);
+        assert_eq!(s.worst_p50_us, 1400.0);
+        assert_eq!(s.worst_p99_us, 3100.25);
+        assert!(s.render().contains("10 pings"));
+    }
+
+    #[test]
+    fn chaos_recovery_summary_requires_the_columns() {
+        assert_eq!(summarize_chaos_recovery("intensity,lost\n0.1,2\n"), None);
+        // Malformed cells are an error, not silently zero.
+        assert_eq!(
+            summarize_chaos_recovery(
+                "recovered,recovery_p50_us,recovery_p99_us\nnot-a-number,1.0,2.0\n"
+            ),
+            None
+        );
     }
 }

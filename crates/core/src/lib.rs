@@ -22,6 +22,9 @@
 //! * [`reliability`] — the §6 analysis: how non-deterministic latency
 //!   (OS jitter) converts into deadline misses, and the
 //!   margin-vs-reliability trade;
+//! * [`recovery`] — closed-form worst-case recovery latency: what an RLF
+//!   re-establishment detour or an N3 path-outage detection costs,
+//!   cross-checked against the stack simulation;
 //! * [`design`] — design-space search over numerology × pattern × access ×
 //!   radio × kernel, quantifying §5's conclusion that "the set of possible
 //!   system designs is quite limited".
@@ -31,6 +34,7 @@ pub mod design;
 pub mod feasibility;
 pub mod formats;
 pub mod model;
+pub mod recovery;
 pub mod reliability;
 pub mod worst_case;
 
@@ -39,5 +43,6 @@ pub use design::{DesignPoint, DesignSearch, DesignVerdict};
 pub use feasibility::{feasibility_table, paper_table1, FeasibilityTable};
 pub use formats::{format_survey, FormatVerdict};
 pub use model::{AccessScheme, ConfigUnderTest, ProcessingBudget};
+pub use recovery::RecoveryLatencyModel;
 pub use reliability::{deadline_miss_probability, margin_sweep, ChaosMissModel, ReliabilityPoint};
 pub use worst_case::{worst_case, Direction, WorstCase};

@@ -24,6 +24,9 @@ pub const MSG_GPDU: u8 = 255;
 /// Message type of an echo request (path management).
 pub const MSG_ECHO_REQUEST: u8 = 1;
 
+/// Message type of an echo response (path management).
+pub const MSG_ECHO_RESPONSE: u8 = 2;
+
 /// Errors from GTP-U decoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum GtpuError {
@@ -59,6 +62,17 @@ impl GtpuHeader {
     /// A G-PDU header for the given tunnel.
     pub fn gpdu(teid: u32) -> GtpuHeader {
         GtpuHeader { message_type: MSG_GPDU, teid, sequence: None }
+    }
+
+    /// An echo request (path management, TS 29.281 §7.2.1). Sent on
+    /// TEID 0; the sequence number pairs it with its response.
+    pub fn echo_request(sequence: u16) -> GtpuHeader {
+        GtpuHeader { message_type: MSG_ECHO_REQUEST, teid: 0, sequence: Some(sequence) }
+    }
+
+    /// An echo response echoing the request's sequence (§7.2.2).
+    pub fn echo_response(sequence: u16) -> GtpuHeader {
+        GtpuHeader { message_type: MSG_ECHO_RESPONSE, teid: 0, sequence: Some(sequence) }
     }
 
     /// Encodes header + payload into a wire packet.
@@ -175,5 +189,19 @@ mod tests {
         let h = GtpuHeader { message_type: MSG_ECHO_REQUEST, teid: 0, sequence: Some(1) };
         let (dec, _) = GtpuHeader::decode(&h.encode(b"")).unwrap();
         assert_eq!(dec.message_type, MSG_ECHO_REQUEST);
+    }
+
+    #[test]
+    fn echo_constructors_roundtrip_with_sequence() {
+        let req = GtpuHeader::echo_request(0xBEEF);
+        let (dec, body) = GtpuHeader::decode(&req.encode(b"")).unwrap();
+        assert_eq!(dec, req);
+        assert_eq!(dec.teid, 0);
+        assert!(body.is_empty());
+
+        let resp = GtpuHeader::echo_response(0xBEEF);
+        let (dec, _) = GtpuHeader::decode(&resp.encode(b"")).unwrap();
+        assert_eq!(dec.message_type, MSG_ECHO_RESPONSE);
+        assert_eq!(dec.sequence, Some(0xBEEF));
     }
 }

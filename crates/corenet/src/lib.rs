@@ -9,6 +9,8 @@
 //! * [`gtpu`] — the GTP-U header codec (TS 29.281);
 //! * [`upf`] — TEID-keyed session lookup, encapsulation/decapsulation;
 //! * [`backbone`] — N3/N6 transport delay models;
+//! * [`supervision`] — GTP-U echo keepalive with retry/backoff and
+//!   failover onto a backup path;
 //! * [`qos`] — the standardised 5QI table (TS 23.501): packet delay
 //!   budgets and error-rate targets, and what a configuration's latency
 //!   can legally carry.
@@ -16,9 +18,11 @@
 pub mod backbone;
 pub mod gtpu;
 pub mod qos;
+pub mod supervision;
 pub mod upf;
 
 pub use backbone::BackboneLink;
 pub use gtpu::{GtpuHeader, GTPU_PORT};
 pub use qos::{FiveQi, ResourceType};
-pub use upf::{Upf, UpfError};
+pub use supervision::{PathEvent, PathEventKind, PathSupervisor, SupervisionConfig};
+pub use upf::{Upf, UpfError, UplinkOutcome};

@@ -9,7 +9,7 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-use crate::gtpu::{GtpuError, GtpuHeader, MSG_GPDU};
+use crate::gtpu::{GtpuError, GtpuHeader, MSG_ECHO_REQUEST, MSG_GPDU};
 
 /// A PDU session record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,6 +39,11 @@ pub enum UpfError {
     },
     /// A non-G-PDU message reached the data path.
     NotGpdu,
+    /// An unsupported path-management message type.
+    UnsupportedMessage {
+        /// The unhandled GTP-U message type.
+        message_type: u8,
+    },
 }
 
 impl From<GtpuError> for UpfError {
@@ -54,11 +59,29 @@ impl core::fmt::Display for UpfError {
             UpfError::UnknownTeid { teid } => write!(f, "no session for TEID {teid}"),
             UpfError::UnknownUe { ue_addr } => write!(f, "no session for UE {ue_addr}"),
             UpfError::NotGpdu => write!(f, "unexpected GTP-U message type on data path"),
+            UpfError::UnsupportedMessage { message_type } => {
+                write!(f, "unsupported GTP-U message type {message_type}")
+            }
         }
     }
 }
 
 impl std::error::Error for UpfError {}
+
+/// What the UPF did with one uplink N3 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UplinkOutcome {
+    /// A G-PDU: decapsulated payload bound for the data network.
+    Data {
+        /// The session the tunnel belongs to.
+        session: Session,
+        /// The decapsulated inner packet.
+        payload: Bytes,
+    },
+    /// A path-management echo request: the encoded echo response to send
+    /// straight back to the probing gNB (sequence preserved).
+    EchoResponse(Bytes),
+}
 
 /// The UPF user-plane state.
 #[derive(Debug, Clone, Default)]
@@ -68,6 +91,8 @@ pub struct Upf {
     next_teid: u32,
     /// Forwarded packet counters (uplink, downlink).
     pub forwarded: (u64, u64),
+    /// Echo requests answered (path supervision round trips).
+    pub echoes_answered: u64,
 }
 
 impl Upf {
@@ -92,20 +117,49 @@ impl Upf {
         self.by_ul_teid.len()
     }
 
-    /// Uplink: takes an N3 packet from a gNB, returns the inner payload for
-    /// the data network plus the session it belongs to.
-    pub fn uplink(&mut self, n3_packet: &Bytes) -> Result<(Session, Bytes), UpfError> {
+    /// Tears down the session anchoring `ue_addr`, returning it (so a
+    /// failover can re-anchor the tunnel with `establish_session`).
+    pub fn release_session(&mut self, ue_addr: u32) -> Result<Session, UpfError> {
+        let session = self.by_ue.remove(&ue_addr).ok_or(UpfError::UnknownUe { ue_addr })?;
+        self.by_ul_teid.remove(&session.ul_teid);
+        Ok(session)
+    }
+
+    /// Re-anchors `ue_addr`'s session on a new downlink TEID without
+    /// changing its uplink TEID — the in-place variant of a release +
+    /// re-establish cycle, used when the gNB moves the tunnel to a backup
+    /// path endpoint.
+    pub fn rebind_session(&mut self, ue_addr: u32, new_dl_teid: u32) -> Result<Session, UpfError> {
+        let session = self.by_ue.get_mut(&ue_addr).ok_or(UpfError::UnknownUe { ue_addr })?;
+        session.dl_teid = new_dl_teid;
+        let rebound = *session;
+        self.by_ul_teid.insert(rebound.ul_teid, rebound);
+        Ok(rebound)
+    }
+
+    /// Uplink: takes an N3 packet from a gNB. G-PDUs decapsulate to
+    /// [`UplinkOutcome::Data`]; echo requests (path management, TS 29.281
+    /// §7.2.1) are answered in place with [`UplinkOutcome::EchoResponse`],
+    /// the request's sequence number echoed back.
+    pub fn uplink(&mut self, n3_packet: &Bytes) -> Result<UplinkOutcome, UpfError> {
         let (header, payload) = GtpuHeader::decode(n3_packet)?;
-        if header.message_type != MSG_GPDU {
-            return Err(UpfError::NotGpdu);
+        match header.message_type {
+            MSG_GPDU => {
+                let session = self
+                    .by_ul_teid
+                    .get(&header.teid)
+                    .copied()
+                    .ok_or(UpfError::UnknownTeid { teid: header.teid })?;
+                self.forwarded.0 += 1;
+                Ok(UplinkOutcome::Data { session, payload })
+            }
+            MSG_ECHO_REQUEST => {
+                self.echoes_answered += 1;
+                let seq = header.sequence.unwrap_or(0);
+                Ok(UplinkOutcome::EchoResponse(GtpuHeader::echo_response(seq).encode(b"")))
+            }
+            other => Err(UpfError::UnsupportedMessage { message_type: other }),
         }
-        let session = self
-            .by_ul_teid
-            .get(&header.teid)
-            .copied()
-            .ok_or(UpfError::UnknownTeid { teid: header.teid })?;
-        self.forwarded.0 += 1;
-        Ok((session, payload))
     }
 
     /// Downlink: takes a data-network packet for `ue_addr`, returns the N3
@@ -130,7 +184,9 @@ mod tests {
         // Uplink: gNB wraps a packet in the UL tunnel.
         let inner = Bytes::from_static(b"ping request");
         let n3 = GtpuHeader::gpdu(s.ul_teid).encode(&inner);
-        let (sess, payload) = upf.uplink(&n3).unwrap();
+        let UplinkOutcome::Data { session: sess, payload } = upf.uplink(&n3).unwrap() else {
+            panic!("G-PDU must decapsulate to data");
+        };
         assert_eq!(sess.ue_addr, 0x0A00_0001);
         assert_eq!(payload, inner);
 
@@ -160,11 +216,56 @@ mod tests {
     }
 
     #[test]
-    fn non_gpdu_rejected_on_data_path() {
+    fn echo_request_answered_with_sequence_preserved() {
         let mut upf = Upf::new();
-        let s = upf.establish_session(1, 2);
-        let echo = GtpuHeader { message_type: 1, teid: s.ul_teid, sequence: Some(0) }.encode(b"");
-        assert_eq!(upf.uplink(&echo).unwrap_err(), UpfError::NotGpdu);
+        upf.establish_session(1, 2);
+        let echo = GtpuHeader::echo_request(0x4242).encode(b"");
+        let UplinkOutcome::EchoResponse(resp) = upf.uplink(&echo).unwrap() else {
+            panic!("echo request must be answered, not forwarded");
+        };
+        let (h, body) = GtpuHeader::decode(&resp).unwrap();
+        assert_eq!(h.message_type, crate::gtpu::MSG_ECHO_RESPONSE);
+        assert_eq!(h.sequence, Some(0x4242));
+        assert!(body.is_empty());
+        assert_eq!(upf.echoes_answered, 1);
+        // Echoes are path management, not forwarded traffic.
+        assert_eq!(upf.forwarded, (0, 0));
+    }
+
+    #[test]
+    fn unsupported_message_type_rejected() {
+        let mut upf = Upf::new();
+        let pkt = GtpuHeader { message_type: 26, teid: 0, sequence: None }.encode(b"");
+        assert_eq!(
+            upf.uplink(&pkt).unwrap_err(),
+            UpfError::UnsupportedMessage { message_type: 26 }
+        );
+    }
+
+    #[test]
+    fn release_and_rebind_sessions() {
+        let mut upf = Upf::new();
+        let s = upf.establish_session(7, 100);
+        // Rebind moves the downlink tunnel, keeping the uplink TEID.
+        let rebound = upf.rebind_session(7, 200).unwrap();
+        assert_eq!(rebound.ul_teid, s.ul_teid);
+        assert_eq!(rebound.dl_teid, 200);
+        let dl = upf.downlink(7, &Bytes::from_static(b"x")).unwrap();
+        assert_eq!(GtpuHeader::decode(&dl).unwrap().0.teid, 200);
+        // Uplink on the original TEID still resolves, to the rebound record.
+        let n3 = GtpuHeader::gpdu(s.ul_teid).encode(b"y");
+        let UplinkOutcome::Data { session, .. } = upf.uplink(&n3).unwrap() else {
+            panic!("expected data");
+        };
+        assert_eq!(session.dl_teid, 200);
+
+        // Release tears the anchor down entirely.
+        let released = upf.release_session(7).unwrap();
+        assert_eq!(released.dl_teid, 200);
+        assert_eq!(upf.sessions(), 0);
+        assert_eq!(upf.uplink(&n3).unwrap_err(), UpfError::UnknownTeid { teid: s.ul_teid });
+        assert_eq!(upf.release_session(7).unwrap_err(), UpfError::UnknownUe { ue_addr: 7 });
+        assert_eq!(upf.rebind_session(7, 300).unwrap_err(), UpfError::UnknownUe { ue_addr: 7 });
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   (the §8 "+0.5 ms steps per retransmission");
 //! * [`rach`] — the four-step random-access fallback and its contention
 //!   behaviour under load (§9 scalability);
+//! * [`rrc`] — connection re-establishment after radio-link failure
+//!   (TS 38.331 §5.3.7): detection, re-access, and the recovery timeline;
 //! * [`sched`] — the gNB per-slot scheduler: SR handling, grant-based and
 //!   grant-free (configured-grant) uplink, downlink allocation, and the
 //!   radio-readiness margin of §4;
@@ -28,6 +30,7 @@ pub mod mac;
 pub mod pdcp;
 pub mod rach;
 pub mod rlc;
+pub mod rrc;
 pub mod sched;
 pub mod sdap;
 pub mod sr;
@@ -35,9 +38,11 @@ pub mod timing;
 
 pub use harq::{HarqConfig, HarqEntity};
 pub use mac::{MacPdu, MacSubPdu};
+pub use pdcp::PdcpStatusReport;
 pub use pdcp::{PdcpConfig, PdcpEntity};
 pub use rach::{simulate_contention, RachConfig};
 pub use rlc::{RlcAmEntity, RlcMode, RlcUmEntity};
+pub use rrc::{RecoveryTimeline, RrcConfig, RrcEntity, RrcState};
 pub use sched::{AccessMode, Scheduler, SchedulerConfig};
 pub use sdap::{SdapEntity, SdapHeader};
 pub use sr::{SrConfig, SrState};

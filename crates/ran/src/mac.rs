@@ -17,6 +17,9 @@ pub mod lcid {
     pub const LC_MIN: u8 = 1;
     /// Last logical channel.
     pub const LC_MAX: u8 = 32;
+    /// C-RNTI control element (UL-SCH) — carried in Msg3 so the gNB can
+    /// match a re-establishing UE to its old context.
+    pub const C_RNTI: u8 = 58;
     /// Short BSR control element (UL-SCH).
     pub const SHORT_BSR: u8 = 61;
     /// Padding.
@@ -171,6 +174,21 @@ pub fn decode_short_bsr(ce: &Bytes) -> Result<(u8, Option<u32>), MacError> {
     Ok((lcg, BSR_LEVELS.get(idx).copied()))
 }
 
+/// Encodes a C-RNTI control element (TS 38.321 §6.1.3.2): the UE's old
+/// C-RNTI, sent in Msg3 during contention-based re-access so the gNB can
+/// route the re-establishment request to the existing UE context.
+pub fn encode_c_rnti(rnti: u16) -> Bytes {
+    Bytes::from(rnti.to_be_bytes().to_vec())
+}
+
+/// Decodes a C-RNTI control element.
+pub fn decode_c_rnti(ce: &Bytes) -> Result<u16, MacError> {
+    if ce.len() != 2 {
+        return Err(MacError::Truncated);
+    }
+    Ok(u16::from_be_bytes([ce[0], ce[1]]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +221,19 @@ mod tests {
         let dec = MacPdu::decode(&enc).unwrap();
         assert_eq!(dec.subpdus.len(), 1);
         assert_eq!(dec.subpdus[0].payload, Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn c_rnti_ce_roundtrips_inside_a_mac_pdu() {
+        let ce = encode_c_rnti(0xC0DE);
+        let pdu = MacPdu::new(vec![
+            MacSubPdu::new(lcid::C_RNTI, ce),
+            MacSubPdu::new(lcid::CCCH, Bytes::from_static(b"reestablishment request")),
+        ]);
+        let dec = MacPdu::decode(&pdu.encode(None).unwrap()).unwrap();
+        assert_eq!(dec.subpdus[0].lcid, lcid::C_RNTI);
+        assert_eq!(decode_c_rnti(&dec.subpdus[0].payload).unwrap(), 0xC0DE);
+        assert_eq!(decode_c_rnti(&Bytes::from_static(&[1])).unwrap_err(), MacError::Truncated);
     }
 
     #[test]

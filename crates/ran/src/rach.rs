@@ -66,6 +66,16 @@ impl RachConfig {
     pub fn uncontended_worst_case(&self) -> Duration {
         self.occasion_period + self.response_delay + self.msg3_delay + self.msg4_delay
     }
+
+    /// Worst case over the whole attempt budget: every attempt but the
+    /// last collides, each loser waits a full occasion period, learns of
+    /// the collision only at Msg4, and draws the maximum backoff. Upper
+    /// bound on every latency [`recovery_latency`] can return.
+    pub fn contended_worst_case(&self) -> Duration {
+        let steps = self.response_delay + self.msg3_delay + self.msg4_delay;
+        let attempts = u64::from(self.max_attempts.max(1));
+        (self.occasion_period + steps) * attempts + self.max_backoff * (attempts - 1)
+    }
 }
 
 /// Latency of one UE's contention-based random access starting at
@@ -229,6 +239,20 @@ mod tests {
         assert_eq!(lat, c.uncontended_latency(trigger));
         // No draws were consumed: the next draw matches a fresh stream.
         assert_eq!(rng.next_u64(), SimRng::from_seed(1).next_u64());
+    }
+
+    #[test]
+    fn contended_worst_case_bounds_every_recovery_latency() {
+        let c = RachConfig::default();
+        let bound = c.contended_worst_case();
+        assert!(bound >= c.uncontended_worst_case());
+        let mut rng = SimRng::from_seed(17).stream("bound");
+        for i in 0..5_000u64 {
+            let trigger = Instant::from_micros(i * 137);
+            if let Some(lat) = recovery_latency(&c, trigger, 64, &mut rng) {
+                assert!(lat <= bound, "latency {lat} exceeds worst case {bound}");
+            }
+        }
     }
 
     #[test]

@@ -122,6 +122,8 @@ pub struct RlcAmEntity {
     rx_highest: u64,
     rx_buffer: BTreeMap<u64, Bytes>,
     status_requested: bool,
+    /// Times this entity has been re-established after an RLF.
+    reestablishments: u64,
 }
 
 impl RlcAmEntity {
@@ -138,7 +140,30 @@ impl RlcAmEntity {
             rx_highest: 0,
             rx_buffer: BTreeMap::new(),
             status_requested: false,
+            reestablishments: 0,
         }
+    }
+
+    /// RLC re-establishment (TS 38.322 §5.1.2): discard every buffered
+    /// SDU and PDU and reset all state variables to their initial values.
+    /// In-flight data is *not* recovered here — that is PDCP's job via the
+    /// status-report exchange, which is what preserves SN continuity.
+    pub fn reestablish(&mut self) {
+        self.wait_queue.clear();
+        self.tx_buffer.clear();
+        self.retx_queue.clear();
+        self.tx_next = 0;
+        self.pdus_since_poll = 0;
+        self.rx_deliv = 0;
+        self.rx_highest = 0;
+        self.rx_buffer.clear();
+        self.status_requested = false;
+        self.reestablishments += 1;
+    }
+
+    /// Times this entity has been re-established.
+    pub fn reestablishments(&self) -> u64 {
+        self.reestablishments
     }
 
     /// Queues an SDU for transmission.
@@ -548,6 +573,33 @@ mod tests {
     fn rx_flush_gaps_on_clean_state_is_empty() {
         let mut e = RlcAmEntity::new(AmConfig::default());
         assert!(e.rx_flush_gaps().is_empty());
+    }
+
+    #[test]
+    fn reestablish_resets_all_state_and_restarts_numbering() {
+        let mut a = RlcAmEntity::new(AmConfig { max_retx: 4, poll_pdu: 100 });
+        let mut b = RlcAmEntity::new(AmConfig::default());
+        for i in 0..5u8 {
+            a.tx_sdu(Bytes::from(vec![i; 4]));
+        }
+        let pdus = drain(&mut a);
+        // Only PDU 3 gets through before the link dies.
+        assert!(b.rx_pdu(&pdus[3]).unwrap().delivered.is_empty());
+        assert!(a.unacked() > 0);
+        assert_eq!(b.rx_buffer.len(), 1);
+
+        a.reestablish();
+        b.reestablish();
+        assert_eq!(a.unacked(), 0);
+        assert_eq!(a.queued_bytes(), 0);
+        assert!(b.rx_buffer.is_empty());
+        assert_eq!((a.reestablishments(), b.reestablishments()), (1, 1));
+
+        // Numbering restarts from SN 0 and the link works cleanly again.
+        a.tx_sdu(Bytes::from_static(b"fresh"));
+        let pdus = drain(&mut a);
+        assert_eq!((u16::from(pdus[0][0] & 0x0F) << 8) | u16::from(pdus[0][1]), 0);
+        assert_eq!(b.rx_pdu(&pdus[0]).unwrap().delivered, vec![Bytes::from_static(b"fresh")]);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::rng::SimRng;
 use crate::time::Duration;
 
 /// Number of fault kinds (array sizing for tallies and traces).
-pub const FAULT_KINDS: usize = 6;
+pub const FAULT_KINDS: usize = 7;
 
 /// The injectable fault processes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -44,6 +44,9 @@ pub enum FaultKind {
     /// Scheduler withholds a grant/assignment for one slot (starvation,
     /// preemption by higher-priority traffic).
     GrantWithheld,
+    /// N3 path failure: the primary gNB↔UPF backbone stops forwarding
+    /// (link or switch outage), detected by GTP-U echo supervision.
+    PathFailure,
 }
 
 impl FaultKind {
@@ -55,6 +58,7 @@ impl FaultKind {
         FaultKind::HarqFeedback,
         FaultKind::BackboneSpike,
         FaultKind::GrantWithheld,
+        FaultKind::PathFailure,
     ];
 
     /// Stable index into tally/trace arrays.
@@ -66,6 +70,7 @@ impl FaultKind {
             FaultKind::HarqFeedback => 3,
             FaultKind::BackboneSpike => 4,
             FaultKind::GrantWithheld => 5,
+            FaultKind::PathFailure => 6,
         }
     }
 
@@ -78,6 +83,7 @@ impl FaultKind {
             FaultKind::HarqFeedback => "harq-feedback",
             FaultKind::BackboneSpike => "backbone-spike",
             FaultKind::GrantWithheld => "grant-withheld",
+            FaultKind::PathFailure => "path-failure",
         }
     }
 }
@@ -223,6 +229,18 @@ pub struct LossGate {
     pub prob: f64,
 }
 
+/// N3 path-outage process: a two-state Markov chain sampled once per
+/// backbone traversal. While down, the primary gNB↔UPF path forwards
+/// nothing (GTP-U echo probes included), so detection falls to the
+/// path supervisor rather than a per-packet loss coin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathFailureConfig {
+    /// P(up → down) per traversal.
+    pub enter: f64,
+    /// P(stay down) per traversal.
+    pub stay: f64,
+}
+
 /// A complete fault schedule: which processes run and with what parameters.
 ///
 /// `None` disables a process entirely — it consumes no RNG draws, so a
@@ -242,6 +260,8 @@ pub struct FaultPlan {
     pub backbone_spike: Option<SpikeConfig>,
     /// Scheduler grant withholding.
     pub grant_withhold: Option<LossGate>,
+    /// Primary N3 path outages (drives GTP-U supervision failover).
+    pub path_failure: Option<PathFailureConfig>,
 }
 
 impl Default for FaultPlan {
@@ -260,6 +280,7 @@ impl FaultPlan {
             harq_feedback: None,
             backbone_spike: None,
             grant_withhold: None,
+            path_failure: None,
         }
     }
 
@@ -271,6 +292,7 @@ impl FaultPlan {
             && self.harq_feedback.is_none()
             && self.backbone_spike.is_none()
             && self.grant_withhold.is_none()
+            && self.path_failure.is_none()
     }
 
     /// The chaos preset: every process enabled, probabilities scaled by
@@ -304,6 +326,7 @@ impl FaultPlan {
                 extra: Dist::Exponential { mean: Duration::from_micros(400) },
             }),
             grant_withhold: Some(LossGate { prob: p(0.10, 0.9) }),
+            path_failure: Some(PathFailureConfig { enter: p(0.002, 0.2), stay: 0.7 }),
         }
     }
 }
@@ -469,6 +492,8 @@ pub struct FaultInjector {
     harq_fb: Option<(LossGate, SimRng)>,
     backbone: Option<(SpikeConfig, SimRng)>,
     grant: Option<(LossGate, SimRng)>,
+    path: Option<(PathFailureConfig, SimRng)>,
+    path_is_down: bool,
     recovery_rng: SimRng,
     tally: FaultTally,
 }
@@ -485,6 +510,8 @@ impl FaultInjector {
             harq_fb: plan.harq_feedback.map(|g| (g, root.stream("harq-fb"))),
             backbone: plan.backbone_spike.clone().map(|c| (c, root.stream("backbone"))),
             grant: plan.grant_withhold.map(|g| (g, root.stream("grant"))),
+            path: plan.path_failure.map(|c| (c, root.stream("path"))),
+            path_is_down: false,
             recovery_rng: root.stream("recovery"),
             tally: FaultTally::default(),
         }
@@ -498,6 +525,7 @@ impl FaultInjector {
             || self.harq_fb.is_some()
             || self.backbone.is_some()
             || self.grant.is_some()
+            || self.path.is_some()
     }
 
     /// Whether the burst-loss overlay is enabled.
@@ -569,6 +597,36 @@ impl FaultInjector {
             self.tally.count(FaultKind::GrantWithheld);
         }
         withheld
+    }
+
+    /// Whether the path-failure process is enabled.
+    pub fn path_failure_active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// One primary-path traversal attempt: is the N3 path down right now?
+    /// Steps the outage Markov chain; an up→down transition counts one
+    /// `PathFailure` event (the outage, not every packet it swallows).
+    pub fn path_down(&mut self) -> bool {
+        let Some((cfg, rng)) = self.path.as_mut() else { return false };
+        let p = if self.path_is_down { cfg.stay } else { cfg.enter };
+        let down = rng.chance(p);
+        if down && !self.path_is_down {
+            self.tally.count(FaultKind::PathFailure);
+        }
+        self.path_is_down = down;
+        down
+    }
+
+    /// Advances the burst-loss chain by `n` extra transmissions without
+    /// tallying — models the RACH Msg1/Msg3 exchanges of a recovery
+    /// detour riding the same air interface, so the channel state the
+    /// retry sees has aged past the burst that caused the RLF.
+    pub fn channel_advance(&mut self, n: u32) {
+        let Some(chain) = self.channel.as_mut() else { return };
+        for _ in 0..n {
+            chain.step();
+        }
     }
 
     /// The stream recovery procedures (e.g. RACH re-access) draw from —
@@ -687,9 +745,36 @@ mod tests {
             assert!(!inj.harq_feedback_corrupted());
             assert_eq!(inj.backbone_spike(), Duration::ZERO);
             assert!(!inj.grant_withheld());
+            assert!(!inj.path_down());
         }
+        inj.channel_advance(10);
         assert_eq!(inj.tally().total(), 0);
         assert!(!inj.is_active());
+        assert!(!inj.path_failure_active());
+    }
+
+    #[test]
+    fn path_outages_are_counted_per_outage_not_per_packet() {
+        let master = SimRng::from_seed(21);
+        let mut plan = FaultPlan::none();
+        plan.path_failure = Some(PathFailureConfig { enter: 0.05, stay: 0.8 });
+        let mut inj = FaultInjector::new(&plan, &master);
+        let mut down_samples = 0u64;
+        let mut outages = 0u64;
+        let mut prev = false;
+        for _ in 0..20_000 {
+            let down = inj.path_down();
+            if down {
+                down_samples += 1;
+                if !prev {
+                    outages += 1;
+                }
+            }
+            prev = down;
+        }
+        assert!(outages > 0, "seeded chain never failed");
+        assert!(down_samples > outages, "outages must dwell (stay=0.8)");
+        assert_eq!(inj.tally().get(FaultKind::PathFailure), outages);
     }
 
     #[test]

@@ -60,6 +60,15 @@ pub struct StackConfig {
     pub sr: ran::sr::SrConfig,
     /// Random-access configuration for the SR-exhaustion fallback path.
     pub rach: ran::RachConfig,
+    /// RRC re-establishment policy: what happens after a radio-link
+    /// failure instead of dropping the packet.
+    pub rrc: ran::RrcConfig,
+    /// GTP-U path-supervision policy on the N3 backbone (echo keepalive,
+    /// retry/backoff, failover).
+    pub supervision: corenet::SupervisionConfig,
+    /// Backup N3 path used when supervision declares the primary down.
+    /// `None` means no failover: path outages stall on the primary.
+    pub backup_backbone: Option<BackboneLink>,
     /// End-to-end RTT deadline used to classify each ping as on-time or
     /// late in the fault-attribution report.
     pub deadline: Duration,
@@ -101,6 +110,11 @@ impl StackConfig {
             rlc_max_retx: 4,
             sr: ran::sr::SrConfig::default(),
             rach: ran::RachConfig::default(),
+            rrc: ran::RrcConfig::default(),
+            supervision: corenet::SupervisionConfig::edge(),
+            // A second co-located link: failover costs detection, not
+            // distance.
+            backup_backbone: Some(BackboneLink::colocated_edge()),
             // Four pattern periods of headroom over the Fig 6 medians.
             deadline: Duration::from_millis(8),
             faults: sim::FaultPlan::none(),
@@ -146,6 +160,9 @@ impl StackConfig {
             rlc_max_retx: 4,
             sr: ran::sr::SrConfig::default(),
             rach: ran::RachConfig::default(),
+            rrc: ran::RrcConfig::default(),
+            supervision: corenet::SupervisionConfig::edge(),
+            backup_backbone: Some(BackboneLink::ideal()),
             deadline: Duration::from_millis(1),
             faults: sim::FaultPlan::none(),
             seed: 7,

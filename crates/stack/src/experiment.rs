@@ -17,9 +17,11 @@
 //! experiment asserts byte-exact delivery and counts radio-deadline misses.
 
 use bytes::Bytes;
+use corenet::{PathEvent, PathSupervisor};
 use radio::{RadioHead, TxRing};
 use ran::sched::{AccessMode, Rnti, Scheduler};
 use ran::sr::SrProcedure;
+use ran::RrcEntity;
 use serde::{Deserialize, Serialize};
 use sim::{
     Dist, Duration, FaultAttribution, FaultInjector, FaultKind, Instant, LatencyRecorder,
@@ -48,15 +50,20 @@ pub struct LayerStats {
 }
 
 /// A radio-link failure: one transport block exhausted both its HARQ and
-/// its RLC AM retransmission budgets, and the ping it carried is lost.
+/// its RLC AM retransmission budgets. The connection-recovery layer then
+/// attempts RRC re-establishment; `recovered` records whether the ping
+/// survived through the recovery detour instead of being dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct RlfEvent {
-    /// Which ping died.
+    /// Which ping hit the failure.
     pub ping: u64,
     /// `true` when the downlink leg failed (uplink otherwise).
     pub dl: bool,
     /// The fault that dominated the doomed ping, if any.
     pub dominant: Option<FaultKind>,
+    /// Whether RRC re-establishment brought the connection back (the ping
+    /// continued over the recovered link; `false` means it was lost).
+    pub recovered: bool,
 }
 
 /// The output of a ping experiment (`Serialize`-only, like the traces it
@@ -94,8 +101,24 @@ pub struct ExperimentResult {
     pub spurious_harq_retx: u64,
     /// RLC AM recovery rounds entered after HARQ budget exhaustion.
     pub rlc_escalations: u64,
-    /// Radio-link failures (pings lost after every recovery budget).
+    /// Radio-link failures (recovered or not — see [`RlfEvent::recovered`]).
     pub rlf: Vec<RlfEvent>,
+    /// RLF events consumed by a successful RRC re-establishment.
+    pub recovered: u64,
+    /// Recovery detours: RLF declared → the recovered block finally
+    /// delivered (detect + RACH + reestablish + PDCP recovery), one sample
+    /// per recovery.
+    pub recovery: LatencyRecorder,
+    /// Recoveries that failed (re-establishment or RACH budget spent); the
+    /// ping is then genuinely lost.
+    pub recovery_failures: u64,
+    /// Primary-path failovers completed by GTP-U path supervision.
+    pub path_failovers: u64,
+    /// GTP-U echo probes (sent, lost) by the path supervisor.
+    pub path_probes: (u64, u64),
+    /// Supervision transitions (probe losses, path-down declarations,
+    /// failovers, restorations), in order.
+    pub path_events: Vec<PathEvent>,
     /// Per-ping deadline classification with fault attribution.
     pub attribution: FaultAttribution,
     /// Traces of the first few pings (Fig 3).
@@ -129,6 +152,8 @@ pub struct PingExperiment {
     rng_ue: SimRng,
     rng_net: SimRng,
     injector: FaultInjector,
+    rrc: RrcEntity,
+    supervisor: PathSupervisor,
     traces_wanted: usize,
 }
 
@@ -169,6 +194,8 @@ impl PingExperiment {
             rng_ue: master.stream("ue"),
             rng_net: master.stream("net"),
             injector: FaultInjector::new(&config.faults, &master),
+            rrc: RrcEntity::new(config.rrc, config.rach),
+            supervisor: PathSupervisor::new(config.supervision),
             traces_wanted: 3,
             gnb,
             config,
@@ -200,6 +227,9 @@ impl PingExperiment {
             self.one_ping(i, arrival, &mut result);
         }
         result.underruns = self.ring.stats().underruns;
+        result.path_failovers = self.supervisor.failovers();
+        result.path_probes = self.supervisor.probe_stats();
+        result.path_events = self.supervisor.events().to_vec();
         result
     }
 
@@ -289,19 +319,20 @@ impl PingExperiment {
     /// Delivers one transport block end to end: HARQ first, then RLC AM
     /// escalation rounds (each a status round trip plus a fresh HARQ
     /// cycle) when the HARQ budget runs out, radio link failure when the
-    /// RLC budget is exhausted too. Returns the extra delay, `None` on RLF.
+    /// RLC budget is exhausted too. Returns the extra delay on success;
+    /// on RLF, the time wasted before the budgets ran dry.
     fn data_delivery(
         &mut self,
         dl_data: bool,
         result: &mut ExperimentResult,
         ftrace: &mut PingFaultTrace,
-    ) -> Option<Duration> {
+    ) -> Result<Duration, Duration> {
         let mut extra = Duration::ZERO;
         for round in 0..=self.config.rlc_max_retx {
             let cycle = self.harq_cycle(dl_data, result, ftrace);
             extra += cycle.extra;
             if cycle.delivered {
-                return Some(extra);
+                return Ok(extra);
             }
             if round == self.config.rlc_max_retx {
                 break;
@@ -319,12 +350,173 @@ impl PingExperiment {
                 ftrace.record(FaultKind::ChannelBurst, recovery);
             }
         }
-        None
+        Err(extra)
+    }
+
+    /// Consumes a radio-link failure declared at `at`: RRC
+    /// re-establishment (detect → RACH re-access carrying the C-RNTI MAC
+    /// CE → reestablishment processing), RLC re-establishment on both
+    /// peers, and the PDCP status-report exchange that retransmits the
+    /// in-flight SDUs with their original COUNTs. Returns the instant the
+    /// re-established link can carry the retransmission, the start of the
+    /// data-recovery exchange (for the "PDCP recover" trace span), and the
+    /// fresh MAC PDUs; `None` when the connection could not come back.
+    fn recover_rlf(
+        &mut self,
+        dl: bool,
+        at: Instant,
+        grant_bytes: usize,
+        spans: &mut Vec<StageSpan>,
+        result: &mut ExperimentResult,
+    ) -> Option<(Instant, Instant, Vec<Bytes>)> {
+        let Some(timeline) = self.rrc.recover(at, self.injector.recovery_rng()) else {
+            result.recovery_failures += 1;
+            return None;
+        };
+        // Msg1/Msg3 of the re-access ride the same air interface: age the
+        // injected burst chain by those two transmissions so the
+        // post-recovery retry sees the channel the RACH just crossed.
+        self.injector.channel_advance(2);
+        // Msg3 carries the C-RNTI MAC CE (TS 38.321 §6.1.3.2) so the gNB
+        // can match the old context — exchanged as real bytes.
+        let ce = ran::mac::encode_c_rnti(RNTI);
+        if ran::mac::decode_c_rnti(&ce).ok() != Some(RNTI) {
+            result.integrity_failures += 1;
+        }
+        let detected = at + timeline.detect;
+        let reaccessed = detected + timeline.rach;
+        let reestablished = reaccessed + timeline.reestablish;
+        spans.push(StageSpan::new("RLF detect", at, detected));
+        spans.push(StageSpan::new("RACH re-access", detected, reaccessed));
+        spans.push(StageSpan::new("RRC reestablish", reaccessed, reestablished));
+        // Both peers re-establish RLC; the receiver's PDCP status report
+        // drives the sender's data recovery over real bytes, preserving SN
+        // continuity. The exchange costs one status round trip on the
+        // fresh link before the retransmission can fly.
+        let pdus = if dl {
+            let report = self.ue.reestablish_downlink();
+            self.gnb.recover_downlink(RNTI, &report, grant_bytes)
+        } else {
+            self.gnb
+                .reestablish_uplink(RNTI)
+                .and_then(|report| self.ue.recover_uplink(&report, grant_bytes))
+        };
+        let pdus = match pdus {
+            Ok(p) if !p.is_empty() => p,
+            _ => {
+                result.integrity_failures += 1;
+                result.recovery_failures += 1;
+                return None;
+            }
+        };
+        let status_rtt =
+            ran::harq::rlc_recovery_round_trip(&self.config.duplex, dl, Duration::from_micros(50));
+        result.recovered += 1;
+        Some((reestablished + status_rtt, reestablished, pdus))
+    }
+
+    /// Delivers one transport block with RLF recovery: on radio-link
+    /// failure the re-establishment machinery runs and the recovered
+    /// (PDCP-retransmitted) block is retried over the fresh link, until
+    /// delivery or until the connection budget dies. Returns the delivery
+    /// instant plus the recovered MAC PDUs when a recovery happened — the
+    /// byte path must decode those instead of the originals, because both
+    /// RLC entities restarted their numbering.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_with_recovery(
+        &mut self,
+        dl: bool,
+        ping: u64,
+        first_air_end: Instant,
+        air: Duration,
+        grant_bytes: usize,
+        spans: &mut Vec<StageSpan>,
+        result: &mut ExperimentResult,
+        ftrace: &mut PingFaultTrace,
+    ) -> Option<(Instant, Option<Vec<Bytes>>)> {
+        let mut tx_end = first_air_end;
+        let mut recovered_pdus = None;
+        // (span start, RLF instant) of the recovery whose retransmission
+        // is currently in flight.
+        let mut pending: Option<(Instant, Instant)> = None;
+        loop {
+            match self.data_delivery(dl, result, ftrace) {
+                Ok(extra) => {
+                    let done = tx_end + extra;
+                    if let Some((span_start, failed_at)) = pending {
+                        spans.push(StageSpan::new("PDCP recover", span_start, done));
+                        result.recovery.record(done - failed_at);
+                        if let Some(kind) = ftrace.dominant() {
+                            ftrace.record(kind, done - failed_at);
+                        }
+                    }
+                    return Some((done, recovered_pdus));
+                }
+                Err(wasted) => {
+                    let failed_at = tx_end + wasted;
+                    if let Some((span_start, prev_failed)) = pending.take() {
+                        // The retried block died too: close the previous
+                        // recovery's ledger at this new failure.
+                        spans.push(StageSpan::new("PDCP recover", span_start, failed_at));
+                        result.recovery.record(failed_at - prev_failed);
+                    }
+                    result.rlf.push(RlfEvent {
+                        ping,
+                        dl,
+                        dominant: ftrace.dominant(),
+                        recovered: false,
+                    });
+                    let (resume, span_start, pdus) =
+                        self.recover_rlf(dl, failed_at, grant_bytes, spans, result)?;
+                    if let Some(ev) = result.rlf.last_mut() {
+                        ev.recovered = true;
+                    }
+                    recovered_pdus = Some(pdus);
+                    pending = Some((span_start, failed_at));
+                    tx_end = resume + air;
+                }
+            }
+        }
+    }
+
+    /// One N3 traversal under GTP-U path supervision: the injected path
+    /// process decides whether the primary is forwarding, the supervisor
+    /// charges the probe/backoff detection sequence to the traversal that
+    /// discovers an outage, and the chosen link's latency is sampled —
+    /// exactly one `rng_net` draw either way, so fault-free runs stay
+    /// byte-identical to the unsupervised baseline.
+    fn backbone_traverse(
+        &mut self,
+        at: Instant,
+        result: &mut ExperimentResult,
+        ftrace: &mut PingFaultTrace,
+    ) -> Duration {
+        let primary_down = self.injector.path_down();
+        let (on_backup, detection) = self.supervisor.traverse(at, primary_down);
+        if detection > Duration::ZERO {
+            ftrace.record(FaultKind::PathFailure, detection);
+            // Validate the freshly adopted path with a real GTP-U echo
+            // round trip through the UPF (type 1 → type 2, sequence
+            // echoed).
+            if !self.supervisor.confirm_path(self.gnb.upf_mut()) {
+                result.integrity_failures += 1;
+            }
+        }
+        let link = match (on_backup, self.config.backup_backbone.as_ref()) {
+            (true, Some(backup)) => backup,
+            // No backup provisioned: the outage stalls on the primary.
+            _ => &self.config.backbone,
+        };
+        detection + link.sample(&mut self.rng_net)
     }
 
     fn one_ping(&mut self, id: u64, t0: Instant, result: &mut ExperimentResult) {
         let mut trace = PingTrace::new(id);
         let mut ftrace = PingFaultTrace::new();
+        // Pings are spaced far apart: a connection that survived to the
+        // next ping has been stable long enough for the re-establishment
+        // counters to clear, so the budget bounds one incident chain.
+        self.rrc.reset_budget();
         let payload = Bytes::from(make_payload(id, self.config.payload_bytes));
         let cfg = self.config.clone();
         let nu = cfg.duplex.numerology();
@@ -485,16 +677,25 @@ impl PingExperiment {
         // ⑦ gNB receives: radio, PHY, MAC↑, RLC, PDCP, SDAP, then GTP-U.
         // Channel loss first costs HARQ rounds (§8's retransmission
         // steps), then RLC AM escalations, then — with every budget
-        // exhausted — the packet is simply gone (radio link failure).
-        let Some(harq_extra) = self.data_delivery(false, result, &mut ftrace) else {
-            result.rlf.push(RlfEvent { ping: id, dl: false, dominant: ftrace.dominant() });
+        // exhausted — radio link failure. RLF no longer drops the packet:
+        // the RRC re-establishment machinery runs and the recovered block
+        // is retried, so the ping's latency grows by the recovery detour.
+        let Some((tx_end, recovered_ul)) = self.deliver_with_recovery(
+            false,
+            id,
+            tx_end,
+            air,
+            cfg.grant_bytes(),
+            &mut trace.ul,
+            result,
+            &mut ftrace,
+        ) else {
             result.attribution.record_lost(ftrace.dominant());
             if result.traces.len() < self.traces_wanted {
                 result.traces.push(trace);
             }
             return;
         };
-        let tx_end = tx_end + harq_extra;
         let rx_radio = self.gnb_radio.rx_radio_latency(ul_samples as u64, &mut self.rng_gnb);
         // An OS-jitter storm on the fronthaul stalls the receive thread.
         let storm = self.injector.storm_delay();
@@ -517,7 +718,11 @@ impl PingExperiment {
         trace.ul.push(StageSpan::new("MAC↑", host_rx, decoded_at));
 
         // Actually decode the bytes (through PHY samples) and check them.
-        let air_samples = self.ue.phy_encode(&mac_pdu);
+        // After a recovery, both RLC entities restarted their numbering
+        // and the in-flight SDU was PDCP-retransmitted: the recovered MAC
+        // PDUs are what actually crossed the air.
+        let mac_pdus = recovered_ul.unwrap_or(mac_pdus);
+        let air_samples = self.ue.phy_encode(&mac_pdus[0]);
         let decoded = self
             .gnb
             .phy_decode(RNTI, &air_samples)
@@ -546,7 +751,7 @@ impl PingExperiment {
         if spike > Duration::ZERO {
             ftrace.record(FaultKind::BackboneSpike, spike);
         }
-        let net = self.config.backbone.sample(&mut self.rng_net) + spike;
+        let net = self.backbone_traverse(decoded_at, result, &mut ftrace) + spike;
         let ul_done = decoded_at + net;
         trace.ul.push(StageSpan::new("UPF", decoded_at, ul_done));
         result.ul.record(ul_done - t0);
@@ -558,7 +763,7 @@ impl PingExperiment {
         if spike > Duration::ZERO {
             ftrace.record(FaultKind::BackboneSpike, spike);
         }
-        let net = self.config.backbone.sample(&mut self.rng_net) + spike;
+        let net = self.backbone_traverse(dl_t0, result, &mut ftrace) + spike;
         let at_gnb = dl_t0 + net;
         let d_sdap = self.sample_gnb(|t| &t.sdap);
         let d_pdcp = self.sample_gnb(|t| &t.pdcp);
@@ -640,16 +845,23 @@ impl PingExperiment {
             retry
         };
         let air = cfg.data_air_time(dl_pdu.len());
-        let Some(dl_extra) = self.data_delivery(true, result, &mut ftrace) else {
-            result.rlf.push(RlfEvent { ping: id, dl: true, dominant: ftrace.dominant() });
+        trace.dl.push(StageSpan::new("DL data", dl_tx, dl_tx + air));
+        let Some((dl_rx_end, recovered_dl)) = self.deliver_with_recovery(
+            true,
+            id,
+            dl_tx + air,
+            air,
+            cfg.slot_capacity_bytes(),
+            &mut trace.dl,
+            result,
+            &mut ftrace,
+        ) else {
             result.attribution.record_lost(ftrace.dominant());
             if result.traces.len() < self.traces_wanted {
                 result.traces.push(trace);
             }
             return;
         };
-        let dl_rx_end = dl_tx + air + dl_extra;
-        trace.dl.push(StageSpan::new("DL data", dl_tx, dl_rx_end));
 
         // ⑪ UE receives and walks the packet up to the application.
         let ue_rx_radio = self.ue_radio.rx_radio_latency(dl_samples as u64, &mut self.rng_ue);
@@ -659,8 +871,10 @@ impl PingExperiment {
         let delivered = dl_rx_end + ue_rx_radio + ue_phy + ue_upper;
         trace.dl.push(StageSpan::new("PHY↑", dl_rx_end, delivered));
 
-        // Decode the actual bytes.
-        let air_samples = self.gnb.phy_encode(RNTI, &dl_pdu);
+        // Decode the actual bytes (the recovered PDUs when an RLF detour
+        // re-established the bearer mid-reply).
+        let dl_pdus = recovered_dl.unwrap_or(dl_pdus);
+        let air_samples = self.gnb.phy_encode(RNTI, &dl_pdus[0]);
         let got = self
             .ue
             .phy_decode(&air_samples)
@@ -824,6 +1038,75 @@ mod tests {
         let mut res = exp.run(400);
         let good = res.ul_summary().mean_us;
         assert!((good - clean).abs() < 200.0, "good {good} vs clean {clean}");
+    }
+
+    #[test]
+    fn rlf_recovery_completes_pings_with_visible_detour() {
+        // A burst channel against a starved HARQ/RLC budget: frequent RLF,
+        // but with ~50 % exit probability the re-established link usually
+        // carries the retransmission through.
+        let n = 80u64;
+        let mut cfg = StackConfig::testbed_dddu(AccessMode::GrantFree, true).with_seed(21);
+        cfg.harq_max_tx = 1;
+        cfg.rlc_max_retx = 0;
+        cfg.faults.channel_burst = Some(sim::GilbertElliott {
+            p_enter_bad: 0.25,
+            p_exit_bad: 0.5,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        });
+        let mut exp = PingExperiment::new(cfg);
+        exp.keep_traces(n as usize);
+        let res = exp.run(n);
+        assert!(!res.rlf.is_empty(), "burst plan should trigger RLF");
+        assert!(res.recovered > 0, "re-establishment should bring pings back");
+        assert_eq!(res.recovery.count(), res.recovered, "one detour sample per recovery");
+        // Recovered bytes decode exactly: SN continuity through the
+        // re-established bearer, no duplicates, no holes.
+        assert_eq!(res.integrity_failures, 0);
+        // Every recovered RLF's ping finishes; only unrecovered ones die.
+        let unrecovered = res.rlf.iter().filter(|ev| !ev.recovered).count() as u64;
+        assert_eq!(res.attribution.lost, unrecovered);
+        // The detour is visible in the trace with the recovery spans.
+        let labels: Vec<&str> = res
+            .traces
+            .iter()
+            .flat_map(|t| t.ul.iter().chain(t.dl.iter()))
+            .map(|s| s.label)
+            .collect();
+        for needed in ["RLF detect", "RACH re-access", "PDCP recover"] {
+            assert!(labels.contains(&needed), "trace must show {needed}");
+        }
+        // And as latency: every detour at least spans the control-plane
+        // legs the RRC entity always charges.
+        let rrc = ran::RrcConfig::default();
+        let floor = (rrc.detect_delay + rrc.reestablish_processing).as_micros_f64();
+        for &us in res.recovery.samples_us() {
+            assert!(us >= floor, "detour {us}µs under the control-plane floor");
+        }
+    }
+
+    #[test]
+    fn path_outage_fails_over_to_backup_with_detection_charged_once() {
+        let n = 120u64;
+        let mut cfg = StackConfig::testbed_dddu(AccessMode::GrantFree, true).with_seed(22);
+        cfg.faults.path_failure = Some(sim::PathFailureConfig { enter: 0.2, stay: 0.6 });
+        let mut exp = PingExperiment::new(cfg.clone());
+        let res = exp.run(n);
+        assert!(res.path_failovers > 0, "outages should trigger failover");
+        assert_eq!(res.integrity_failures, 0, "echo confirmation must round-trip");
+        let (sent, lost) = res.path_probes;
+        assert!(sent > lost, "failover confirmations are answered probes");
+        // Each failover charges the full detection sequence exactly once.
+        let detections =
+            res.path_events.iter().filter(|e| e.kind == corenet::PathEventKind::PathDown).count()
+                as u64;
+        assert_eq!(detections, res.path_failovers);
+        assert_eq!(res.ul.count() + res.attribution.lost, n, "no ping silently vanishes");
+        // Supervised runs are deterministic.
+        let res2 = PingExperiment::new(cfg).run(n);
+        assert_eq!(res.path_events, res2.path_events);
+        assert_eq!(res.rtt.samples_us(), res2.rtt.samples_us());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! delivery, so a framing bug anywhere in the workspace fails loudly.
 
 use bytes::Bytes;
-use corenet::upf::{Session, Upf};
+use corenet::upf::{Session, Upf, UplinkOutcome};
 use phy::modulation::Iq;
 use phy::scrambling::data_scrambling_c_init;
 use phy::transport::{self, ShChConfig};
@@ -103,6 +103,12 @@ impl UeStack {
             self.sdap.encode_pdu(PING_QFI, payload).map_err(|e| StackError::Sdap(e.to_string()))?;
         let pdcp_pdu = self.pdcp.tx_encode(&sdap_pdu);
         self.rlc.tx_sdu(pdcp_pdu);
+        self.pull_uplink_pdus(grant_bytes)
+    }
+
+    /// Drains the RLC transmit queue into uplink MAC PDUs (BSR riding
+    /// along), each at most `grant_bytes` long.
+    fn pull_uplink_pdus(&mut self, grant_bytes: usize) -> Result<Vec<Bytes>, StackError> {
         let mut out = Vec::new();
         loop {
             // Reserve room for the MAC subheaders (data + BSR).
@@ -127,6 +133,34 @@ impl UeStack {
             }
         }
         Ok(out)
+    }
+
+    /// Uplink-bearer data recovery after RRC re-establishment: the RLC
+    /// entity is re-established (TS 38.322 §5.1.3 — buffers discarded,
+    /// SNs reset) and PDCP data recovery (TS 38.323 §5.4) runs against the
+    /// gNB's status report: every unconfirmed PDCP PDU is retransmitted
+    /// with its **original COUNT** — SN continuity — re-encoded into fresh
+    /// MAC PDUs over the reset RLC.
+    pub fn recover_uplink(
+        &mut self,
+        status_report: &Bytes,
+        grant_bytes: usize,
+    ) -> Result<Vec<Bytes>, StackError> {
+        let report = ran::pdcp::PdcpStatusReport::decode(status_report)
+            .map_err(|e| StackError::Pdcp(e.to_string()))?;
+        self.rlc = RlcUmEntity::new();
+        for pdcp_pdu in self.pdcp.retransmit_unconfirmed(&report) {
+            self.rlc.tx_sdu(pdcp_pdu);
+        }
+        self.pull_uplink_pdus(grant_bytes)
+    }
+
+    /// Downlink-bearer half of a re-establishment: re-establishes the RLC
+    /// entity and produces the encoded PDCP status report
+    /// (TS 38.323 §6.2.3.1) the gNB needs for its data recovery.
+    pub fn reestablish_downlink(&mut self) -> Bytes {
+        self.rlc = RlcUmEntity::new();
+        self.pdcp.status_report().encode()
     }
 
     /// Decodes a downlink MAC PDU; returns any application payloads
@@ -184,6 +218,10 @@ struct UeContext {
 pub struct GnbStack {
     contexts: BTreeMap<Rnti, UeContext>,
     upf: Upf,
+    /// DL-TEID → RNTI routing, kept explicit so failover can re-anchor a
+    /// tunnel on a fresh TEID without breaking downlink delivery.
+    dl_routes: BTreeMap<u32, Rnti>,
+    next_dl_teid: u32,
 }
 
 impl Default for GnbStack {
@@ -195,7 +233,12 @@ impl Default for GnbStack {
 impl GnbStack {
     /// Creates an empty gNB.
     pub fn new() -> GnbStack {
-        GnbStack { contexts: BTreeMap::new(), upf: Upf::new() }
+        GnbStack {
+            contexts: BTreeMap::new(),
+            upf: Upf::new(),
+            dl_routes: BTreeMap::new(),
+            next_dl_teid: 0x1_0000,
+        }
     }
 
     /// Attaches a UE: creates the per-UE layer entities and a PDU session
@@ -203,7 +246,9 @@ impl GnbStack {
     pub fn attach_ue(&mut self, rnti: Rnti, key: u64, ue_addr: u32) {
         let mut sdap = SdapEntity::new();
         sdap.map_flow(PING_QFI, PING_LCID);
-        let session = self.upf.establish_session(ue_addr, u32::from(rnti) + 0x100);
+        let dl_teid = u32::from(rnti) + 0x100;
+        let session = self.upf.establish_session(ue_addr, dl_teid);
+        self.dl_routes.insert(dl_teid, rnti);
         self.contexts.insert(
             rnti,
             UeContext {
@@ -218,6 +263,36 @@ impl GnbStack {
     /// Attached UE count.
     pub fn attached(&self) -> usize {
         self.contexts.len()
+    }
+
+    /// Direct access to the embedded UPF (path supervision probes it).
+    pub fn upf_mut(&mut self) -> &mut Upf {
+        &mut self.upf
+    }
+
+    /// Re-anchors `ue_addr`'s tunnel on a fresh DL TEID after a path
+    /// failover: the UPF rebinds the session, the old route is torn down,
+    /// and downlink traffic flows over the new tunnel endpoint. Returns
+    /// the rebound session.
+    pub fn failover_session(&mut self, ue_addr: u32) -> Result<Session, StackError> {
+        let new_dl_teid = self.next_dl_teid;
+        self.next_dl_teid += 1;
+        let rebound = self
+            .upf
+            .rebind_session(ue_addr, new_dl_teid)
+            .map_err(|e| StackError::Core(e.to_string()))?;
+        let old_route = self
+            .dl_routes
+            .iter()
+            .find(|&(_, &r)| self.contexts.get(&r).is_some_and(|c| c.session.ue_addr == ue_addr));
+        let (&old_teid, &rnti) =
+            old_route.ok_or(StackError::Core(format!("no downlink route for UE {ue_addr}")))?;
+        self.dl_routes.remove(&old_teid);
+        self.dl_routes.insert(new_dl_teid, rnti);
+        if let Some(ctx) = self.contexts.get_mut(&rnti) {
+            ctx.session = rebound;
+        }
+        Ok(rebound)
     }
 
     fn ctx(&mut self, rnti: Rnti) -> Result<&mut UeContext, StackError> {
@@ -253,9 +328,12 @@ impl GnbStack {
         // UPF decapsulates onto the data network.
         let mut out = Vec::new();
         for (n3, ()) in n3_packets {
-            let (_sess, payload) =
-                self.upf.uplink(&n3).map_err(|e| StackError::Core(e.to_string()))?;
-            out.push(payload);
+            match self.upf.uplink(&n3).map_err(|e| StackError::Core(e.to_string()))? {
+                UplinkOutcome::Data { payload, .. } => out.push(payload),
+                // Only G-PDUs are built above; echo responses belong to
+                // the supervision path, not the data path.
+                UplinkOutcome::EchoResponse(_) => {}
+            }
         }
         Ok(out)
     }
@@ -273,12 +351,25 @@ impl GnbStack {
         let (gtp, inner) =
             corenet::gtpu::GtpuHeader::decode(&n3).map_err(|e| StackError::Core(e.to_string()))?;
         // Route by DL TEID back to the RNTI.
-        let rnti = (gtp.teid - 0x100) as Rnti;
+        let rnti = *self
+            .dl_routes
+            .get(&gtp.teid)
+            .ok_or(StackError::Core(format!("no route for DL TEID {}", gtp.teid)))?;
         let ctx = self.ctx(rnti)?;
         let (_drb, sdap_pdu) =
             ctx.sdap.encode_pdu(PING_QFI, &inner).map_err(|e| StackError::Sdap(e.to_string()))?;
         let pdcp_pdu = ctx.pdcp.tx_encode(&sdap_pdu);
         ctx.rlc.tx_sdu(pdcp_pdu);
+        let out = Self::pull_downlink_pdus(ctx, grant_bytes)?;
+        Ok((rnti, out))
+    }
+
+    /// Drains `ctx`'s RLC transmit queue into downlink MAC PDUs, each at
+    /// most `grant_bytes` long.
+    fn pull_downlink_pdus(
+        ctx: &mut UeContext,
+        grant_bytes: usize,
+    ) -> Result<Vec<Bytes>, StackError> {
         let mut out = Vec::new();
         loop {
             let overhead = 3;
@@ -297,7 +388,36 @@ impl GnbStack {
                 None => break,
             }
         }
-        Ok((rnti, out))
+        Ok(out)
+    }
+
+    /// Uplink-bearer half of a re-establishment for `rnti`: re-establishes
+    /// the receive-side RLC entity and produces the encoded PDCP status
+    /// report (TS 38.323 §6.2.3.1) that drives the UE's data recovery.
+    pub fn reestablish_uplink(&mut self, rnti: Rnti) -> Result<Bytes, StackError> {
+        let ctx = self.ctx(rnti)?;
+        ctx.rlc = RlcUmEntity::new();
+        Ok(ctx.pdcp.status_report().encode())
+    }
+
+    /// Downlink-bearer data recovery for `rnti` after RRC
+    /// re-establishment: RLC re-establishment plus PDCP data recovery from
+    /// the UE's status report — the unconfirmed PDCP PDUs are retransmitted
+    /// with their original COUNTs as fresh MAC PDUs.
+    pub fn recover_downlink(
+        &mut self,
+        rnti: Rnti,
+        status_report: &Bytes,
+        grant_bytes: usize,
+    ) -> Result<Vec<Bytes>, StackError> {
+        let report = ran::pdcp::PdcpStatusReport::decode(status_report)
+            .map_err(|e| StackError::Pdcp(e.to_string()))?;
+        let ctx = self.ctx(rnti)?;
+        ctx.rlc = RlcUmEntity::new();
+        for pdcp_pdu in ctx.pdcp.retransmit_unconfirmed(&report) {
+            ctx.rlc.tx_sdu(pdcp_pdu);
+        }
+        Self::pull_downlink_pdus(self.ctx(rnti)?, grant_bytes)
     }
 
     /// Modulates a downlink MAC PDU for `rnti` to IQ samples.
@@ -403,6 +523,81 @@ mod tests {
         assert!(out18.is_empty() || out18[0] != payload);
         // The right UE decodes fine.
         assert_eq!(ue17.decode_downlink(&mac_pdus[0]).unwrap(), vec![payload]);
+    }
+
+    #[test]
+    fn failover_reanchors_downlink_tunnel() {
+        let (mut ue, mut gnb) = attach_pair();
+        let deliver = |ue: &mut UeStack, pdus: &[Bytes]| -> Vec<Bytes> {
+            pdus.iter().flat_map(|p| ue.decode_downlink(p).unwrap()).collect()
+        };
+        let before = Bytes::from_static(b"before failover");
+        let (rnti, pdus) = gnb.encode_downlink(0x0A00_0001, &before, 256).unwrap();
+        assert_eq!(rnti, 17);
+        assert_eq!(deliver(&mut ue, &pdus), vec![before]);
+
+        let rebound = gnb.failover_session(0x0A00_0001).unwrap();
+        assert_eq!(rebound.dl_teid, 0x1_0000);
+        // Downlink still reaches the same UE over the new tunnel.
+        let after = Bytes::from_static(b"after failover");
+        let (rnti, pdus) = gnb.encode_downlink(0x0A00_0001, &after, 256).unwrap();
+        assert_eq!(rnti, 17);
+        assert_eq!(deliver(&mut ue, &pdus), vec![after]);
+        // Unknown UE still errors.
+        assert!(gnb.failover_session(0xDEAD).is_err());
+    }
+
+    #[test]
+    fn uplink_recovery_redelivers_lost_sdu_exactly_once() {
+        let (mut ue, mut gnb) = attach_pair();
+        // Ping A goes through cleanly.
+        let a = Bytes::from_static(b"ping A: delivered");
+        for pdu in ue.encode_uplink(&a, 256).unwrap() {
+            assert_eq!(gnb.decode_uplink(17, &pdu).unwrap(), vec![a.clone()]);
+        }
+        // Ping B is encoded but lost on the air (never decoded): RLF.
+        let b = Bytes::from_static(b"ping B: lost to RLF");
+        let _lost = ue.encode_uplink(&b, 256).unwrap();
+        // Re-establishment: the gNB's status report drives the UE's PDCP
+        // data recovery; only the in-flight SDU is retransmitted.
+        let report = gnb.reestablish_uplink(17).unwrap();
+        let retx = ue.recover_uplink(&report, 256).unwrap();
+        assert!(!retx.is_empty());
+        let mut delivered = Vec::new();
+        for pdu in &retx {
+            delivered.extend(gnb.decode_uplink(17, pdu).unwrap());
+        }
+        assert_eq!(delivered, vec![b], "exactly the lost SDU, exactly once");
+        // The bearer keeps working after recovery.
+        let c = Bytes::from_static(b"ping C: back to normal");
+        let mut after = Vec::new();
+        for pdu in ue.encode_uplink(&c, 256).unwrap() {
+            after.extend(gnb.decode_uplink(17, &pdu).unwrap());
+        }
+        assert_eq!(after, vec![c]);
+    }
+
+    #[test]
+    fn downlink_recovery_redelivers_lost_sdu_exactly_once() {
+        let (mut ue, mut gnb) = attach_pair();
+        let a = Bytes::from_static(b"reply A: delivered");
+        let (_, pdus) = gnb.encode_downlink(0x0A00_0001, &a, 256).unwrap();
+        let got: Vec<Bytes> = pdus.iter().flat_map(|p| ue.decode_downlink(p).unwrap()).collect();
+        assert_eq!(got, vec![a]);
+        // Reply B lost on the air.
+        let b = Bytes::from_static(b"reply B: lost to RLF");
+        let _lost = gnb.encode_downlink(0x0A00_0001, &b, 256).unwrap();
+        let report = ue.reestablish_downlink();
+        let retx = gnb.recover_downlink(17, &report, 256).unwrap();
+        assert!(!retx.is_empty());
+        let delivered: Vec<Bytes> =
+            retx.iter().flat_map(|p| ue.decode_downlink(p).unwrap()).collect();
+        assert_eq!(delivered, vec![b]);
+        // Subsequent downlink traffic is unaffected.
+        let c = Bytes::from_static(b"reply C: back to normal");
+        let (_, pdus) = gnb.encode_downlink(0x0A00_0001, &c, 256).unwrap();
+        let got: Vec<Bytes> = pdus.iter().flat_map(|p| ue.decode_downlink(p).unwrap()).collect();
+        assert_eq!(got, vec![c]);
     }
 
     #[test]

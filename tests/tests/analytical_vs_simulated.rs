@@ -47,6 +47,9 @@ fn protocol_only(duplex: Duplex, access: AccessMode) -> StackConfig {
         rlc_max_retx: 4,
         sr: ran::sr::SrConfig::default(),
         rach: ran::RachConfig::default(),
+        rrc: ran::RrcConfig::default(),
+        supervision: corenet::SupervisionConfig::edge(),
+        backup_backbone: None,
         deadline: Duration::from_millis(8),
         faults: sim::FaultPlan::none(),
         seed: 0,

@@ -133,7 +133,12 @@ fn chaos_plan_causes_rlf_and_attributes_losses() {
     let res = exp.run(n);
     assert!(!res.rlf.is_empty(), "expected radio link failures");
     assert!(res.attribution.lost > 0);
-    assert_eq!(res.attribution.lost, res.rlf.len() as u64, "every loss is a typed RLF");
+    // RLF no longer means loss: the recovery layer re-establishes the
+    // connection until its budget dies. Every *lost* ping must still be a
+    // typed, unrecovered RLF — never a silent drop.
+    let unrecovered = res.rlf.iter().filter(|ev| !ev.recovered).count() as u64;
+    assert_eq!(res.attribution.lost, unrecovered, "every loss is a typed, unrecovered RLF");
+    assert_eq!(res.recovery_failures, unrecovered);
     assert!(
         res.attribution.lost_by.get(FaultKind::ChannelBurst) > 0,
         "losses must be attributed to the burst process"
