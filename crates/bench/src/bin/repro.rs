@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! repro table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fr2|reliability|design|all [--pings N]
+//! repro metrics [--pings N]          # cross-layer telemetry registry dump
+//! repro trace [--perfetto out.json]  # Perfetto/Chrome trace of the journey
 //! ```
 //!
 //! Each subcommand prints the regenerated artifact (ASCII) and writes a
-//! CSV/JSON copy under `results/`. Experiment↔module mapping is in
-//! DESIGN.md §5; paper-vs-measured numbers are recorded in EXPERIMENTS.md.
+//! CSV/JSON copy under `results/`, plus a machine-readable
+//! `BENCH_repro.json` (per-figure latency quantiles and wall times).
+//! Experiment↔module mapping is in DESIGN.md §5; paper-vs-measured numbers
+//! are recorded in EXPERIMENTS.md.
 
 use std::env;
 
@@ -15,7 +19,8 @@ use ran::sched::AccessMode;
 use sim::{Duration, SimRng};
 use stack::{PingExperiment, StackConfig};
 use urllc_bench::report::{
-    ascii_histogram, ascii_series, summarize_chaos_recovery, to_csv, write_artifact,
+    ascii_histogram, ascii_series, bench_json, bench_log, bench_wall, summarize_chaos_recovery,
+    to_csv, write_artifact,
 };
 use urllc_core::feasibility::{feasibility_table, paper_table1};
 use urllc_core::model::{ConfigUnderTest, ProcessingBudget};
@@ -33,53 +38,68 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(5_000);
 
+    let perfetto_out =
+        args.iter().position(|a| a == "--perfetto").and_then(|i| args.get(i + 1)).cloned();
+
     match cmd {
-        "table1" => table1(),
-        "table2" => table2(pings),
-        "fig1" => fig1(),
-        "fig2" => fig2(),
-        "fig3" => fig3(),
-        "fig4" => fig4(),
-        "fig5" => fig5(),
-        "fig6" => fig6(pings),
-        "fr2" => fr2(),
-        "reliability" => reliability(),
-        "design" => design(),
-        "formats" => formats(),
-        "scale" => scale(),
-        "harq" => harq(pings),
-        "rach" => rach(),
-        "sixg" => sixg(),
-        "coexist" => coexist(),
-        "chaos" => chaos(pings),
-        "recovery" => recovery(pings),
+        "table1" => timed("table1", table1),
+        "table2" => timed("table2", || table2(pings)),
+        "fig1" => timed("fig1", fig1),
+        "fig2" => timed("fig2", fig2),
+        "fig3" => timed("fig3", fig3),
+        "fig4" => timed("fig4", fig4),
+        "fig5" => timed("fig5", fig5),
+        "fig6" => timed("fig6", || fig6(pings)),
+        "fr2" => timed("fr2", fr2),
+        "reliability" => timed("reliability", reliability),
+        "design" => timed("design", design),
+        "formats" => timed("formats", formats),
+        "scale" => timed("scale", scale),
+        "harq" => timed("harq", || harq(pings)),
+        "rach" => timed("rach", rach),
+        "sixg" => timed("sixg", sixg),
+        "coexist" => timed("coexist", coexist),
+        "chaos" => timed("chaos", || chaos(pings)),
+        "recovery" => timed("recovery", || recovery(pings)),
+        "metrics" => timed("metrics", || metrics(pings)),
+        "trace" => timed("trace", || trace(pings, perfetto_out)),
         "all" => {
-            table1();
-            table2(pings);
-            fig1();
-            fig2();
-            fig3();
-            fig4();
-            fig5();
-            fig6(pings);
-            fr2();
-            reliability();
-            design();
-            formats();
-            scale();
-            harq(pings);
-            rach();
-            sixg();
-            coexist();
-            chaos(pings);
-            recovery(pings);
+            timed("table1", table1);
+            timed("table2", || table2(pings));
+            timed("fig1", fig1);
+            timed("fig2", fig2);
+            timed("fig3", fig3);
+            timed("fig4", fig4);
+            timed("fig5", fig5);
+            timed("fig6", || fig6(pings));
+            timed("fr2", fr2);
+            timed("reliability", reliability);
+            timed("design", design);
+            timed("formats", formats);
+            timed("scale", scale);
+            timed("harq", || harq(pings));
+            timed("rach", rach);
+            timed("sixg", sixg);
+            timed("coexist", coexist);
+            timed("chaos", || chaos(pings));
+            timed("recovery", || recovery(pings));
+            timed("metrics", || metrics(pings));
+            timed("trace", || trace(pings, perfetto_out));
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|harq|rach|sixg|coexist|chaos|recovery|all [--pings N]");
+            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|harq|rach|sixg|coexist|chaos|recovery|metrics|trace|all [--pings N] [--perfetto out.json]");
             std::process::exit(2);
         }
     }
+    save("BENCH_repro.json", &bench_json());
+}
+
+/// Runs one subcommand, logging its wall time for `BENCH_repro.json`.
+fn timed(name: &str, f: impl FnOnce()) {
+    let t = std::time::Instant::now();
+    f();
+    bench_wall(name, t.elapsed().as_secs_f64() * 1e3);
 }
 
 fn banner(s: &str) {
@@ -113,7 +133,8 @@ fn table2(pings: u64) {
     banner("Table 2 — gNB layer processing and queuing time");
     let cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(42);
     let mut exp = PingExperiment::new(cfg);
-    let res = exp.run(pings);
+    let mut res = exp.run(pings);
+    bench_log("table2", "rtt", &mut res.rtt);
     let paper = [
         ("SDAP", 4.65, 6.71),
         ("PDCP", 8.29, 8.99),
@@ -285,6 +306,12 @@ fn fig6(pings: u64) {
                 rows.push(vec![panel.into(), dirname.into(), format!("{x:.2}"), format!("{p:.5}")]);
             }
         }
+        let suffix = match access {
+            AccessMode::GrantBased => "grant_based",
+            AccessMode::GrantFree => "grant_free",
+        };
+        bench_log("fig6", &format!("ul_{suffix}"), &mut res.ul);
+        bench_log("fig6", &format!("dl_{suffix}"), &mut res.dl);
         let ul = res.ul_summary();
         let dl = res.dl_summary();
         println!(
@@ -585,11 +612,11 @@ fn chaos(pings: u64) {
                 protocol_miss: (p_protocol * shift_window).min(1.0),
             };
             let mean_rtt_ms = res.rtt.summary().mean_us / 1000.0;
-            let (rec_p50, rec_p99) = if res.recovery.count() > 0 {
-                (res.recovery.quantile_us(0.5), res.recovery.quantile_us(0.99))
-            } else {
-                (0.0, 0.0)
-            };
+            bench_log("chaos", &format!("rtt_m{m}_i{intensity}"), &mut res.rtt);
+            let (rec_p50, rec_p99) = (
+                res.recovery.try_quantile_us(0.5).unwrap_or(0.0),
+                res.recovery.try_quantile_us(0.99).unwrap_or(0.0),
+            );
             println!(
                 "margin {m} slots  intensity {intensity:>4.2}: miss {miss:.4} (model {:.4})  \
                  on-time {:>4} late {:>3} lost {:>3}  rlf {:>2} recovered {:>2}  \
@@ -695,15 +722,11 @@ fn recovery(pings: u64) {
         unrecovered,
         res.integrity_failures
     );
-    let (p50, p99, max) = if res.recovery.count() > 0 {
-        (
-            res.recovery.quantile_us(0.5),
-            res.recovery.quantile_us(0.99),
-            res.recovery.summary().max_us,
-        )
-    } else {
-        (0.0, 0.0, 0.0)
-    };
+    bench_log("recovery", "rtt", &mut res.rtt);
+    bench_log("recovery", "detour", &mut res.recovery);
+    let p50 = res.recovery.try_quantile_us(0.5).unwrap_or(0.0);
+    let p99 = res.recovery.try_quantile_us(0.99).unwrap_or(0.0);
+    let max = if res.recovery.count() > 0 { res.recovery.summary().max_us } else { 0.0 };
     println!("simulated recovery detour: p50 {p50:.0} µs  p99 {p99:.0} µs  max {max:.0} µs");
     println!(
         "closed-form worst case:    UL {}  DL {}  (control plane {})",
@@ -759,6 +782,65 @@ fn recovery(pings: u64) {
         vec!["sim_path_probes_lost".into(), path_res.path_probes.1.to_string()],
     ];
     save("recovery.csv", &to_csv(&["quantity", "value"], &rows));
+}
+
+/// `repro metrics` — one instrumented chaotic run; dumps the cross-layer
+/// metrics registry, the per-ping deadline-budget audit and the telemetry
+/// summary, and writes `metrics.csv` / `metrics.json`.
+fn metrics(pings: u64) {
+    banner("Metrics — cross-layer telemetry registry (instrumented chaotic run)");
+    let n = pings.clamp(64, 1_000);
+    let cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true)
+        .with_seed(7)
+        .with_faults(sim::FaultPlan::chaos(0.2));
+    let tel = telemetry::Telemetry::new(4096);
+    let mut exp = PingExperiment::new_instrumented(cfg.clone(), tel.clone());
+    exp.keep_traces(n as usize);
+    let mut res = exp.run(n);
+    bench_log("metrics", "rtt", &mut res.rtt);
+
+    let audits = urllc_core::audit_traces(&res.traces, &cfg, &tel);
+    let over = audits.iter().filter(|a| !a.recovery_within_bound).count();
+    let snap = tel.snapshot();
+    print!("{}", snap.render());
+    println!(
+        "{} metric keys across {} layers: {}",
+        snap.len(),
+        snap.layers().len(),
+        snap.layers().join(", ")
+    );
+    println!("audited {} pings: {} over the closed-form recovery bound", audits.len(), over);
+    if let Some(worst) = audits.iter().max_by_key(|a| a.rtt) {
+        println!("slowest audited ping:\n  {}", worst.render());
+    }
+    print!("{}", res.telemetry.render());
+    save("metrics.csv", &snap.to_csv());
+    save("metrics.json", &snap.to_json());
+}
+
+/// `repro trace [--perfetto out.json]` — one instrumented chaotic run;
+/// exports the event journal as a Chrome trace-event / Perfetto JSON
+/// document (load it at <https://ui.perfetto.dev>).
+fn trace(pings: u64, out: Option<String>) {
+    banner("Trace — Perfetto/Chrome trace-event export of the ping journey");
+    let n = pings.clamp(8, 24);
+    let cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true)
+        .with_seed(7)
+        .with_faults(sim::FaultPlan::chaos(0.2));
+    let tel = telemetry::Telemetry::new(8192);
+    let mut exp = PingExperiment::new_instrumented(cfg, tel.clone());
+    let mut res = exp.run(n);
+    bench_log("trace", "rtt", &mut res.rtt);
+    let events = tel.journal_events();
+    println!(
+        "{n} pings journalled {} events ({} dropped by the ring)",
+        events.len(),
+        tel.journal_dropped()
+    );
+    let json = telemetry::perfetto::chrome_trace_json(&events);
+    let name = out.as_deref().unwrap_or("trace_perfetto.json");
+    save(name, &json);
+    println!("open the saved file at https://ui.perfetto.dev");
 }
 
 fn save(name: &str, contents: &str) {

@@ -1,6 +1,10 @@
-//! ASCII plots and CSV output for the regenerated tables and figures.
+//! ASCII plots and CSV output for the regenerated tables and figures,
+//! plus the machine-readable `BENCH_repro.json` collector.
 
 use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use sim::LatencyRecorder;
 
 /// Renders an ASCII bar histogram from `(x, probability)` pairs (the shape
 /// of the paper's Fig 6 panels).
@@ -103,6 +107,104 @@ pub fn summarize_chaos_recovery(csv: &str) -> Option<ChaosRecoverySummary> {
     Some(sum)
 }
 
+/// One latency distribution logged for `BENCH_repro.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Which figure/table produced it (`table2`, `fig6`, ...).
+    pub figure: String,
+    /// Which distribution within the figure (`rtt`, `ul`, ...).
+    pub metric: String,
+    /// Sample count.
+    pub count: u64,
+    /// Median, µs (0 when the recorder was empty).
+    pub p50_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+    /// 99.9th percentile, µs.
+    pub p999_us: f64,
+}
+
+/// Wall-clock time of one `repro` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchWall {
+    /// Subcommand name.
+    pub figure: String,
+    /// Wall time, ms.
+    pub wall_ms: f64,
+}
+
+static BENCH_RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+static BENCH_WALL: Mutex<Vec<BenchWall>> = Mutex::new(Vec::new());
+
+/// Logs a latency distribution under `figure`/`metric` for
+/// `BENCH_repro.json`. Empty recorders log zero quantiles rather than
+/// panicking (via [`LatencyRecorder::try_quantile_us`]).
+pub fn bench_log(figure: &str, metric: &str, rec: &mut LatencyRecorder) {
+    let q = |rec: &mut LatencyRecorder, p| rec.try_quantile_us(p).unwrap_or(0.0);
+    let record = BenchRecord {
+        figure: figure.to_string(),
+        metric: metric.to_string(),
+        count: rec.count(),
+        p50_us: q(rec, 0.5),
+        p99_us: q(rec, 0.99),
+        p999_us: q(rec, 0.999),
+    };
+    BENCH_RECORDS.lock().expect("bench log poisoned").push(record);
+}
+
+/// Logs the wall time of one subcommand.
+pub fn bench_wall(figure: &str, wall_ms: f64) {
+    BENCH_WALL
+        .lock()
+        .expect("bench log poisoned")
+        .push(BenchWall { figure: figure.to_string(), wall_ms });
+}
+
+/// Records logged so far (cloned; the log keeps accumulating).
+pub fn bench_records() -> Vec<BenchRecord> {
+    BENCH_RECORDS.lock().expect("bench log poisoned").clone()
+}
+
+/// Clears both logs (tests).
+pub fn bench_reset() {
+    BENCH_RECORDS.lock().expect("bench log poisoned").clear();
+    BENCH_WALL.lock().expect("bench log poisoned").clear();
+}
+
+/// Renders both logs as the `BENCH_repro.json` document (hand-rolled:
+/// the workspace's serde is an offline no-op stand-in).
+pub fn bench_json() -> String {
+    let mut out = String::from("{\n  \"distributions\": [");
+    let records = BENCH_RECORDS.lock().expect("bench log poisoned");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"figure\": \"{}\", \"metric\": \"{}\", \"count\": {}, \
+             \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}}}",
+            if i == 0 { "" } else { "," },
+            r.figure,
+            r.metric,
+            r.count,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+        );
+    }
+    out.push_str("\n  ],\n  \"wall_ms\": [");
+    let walls = BENCH_WALL.lock().expect("bench log poisoned");
+    for (i, w) in walls.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"figure\": \"{}\", \"wall_ms\": {:.3}}}",
+            if i == 0 { "" } else { "," },
+            w.figure,
+            w.wall_ms,
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 /// Writes an artifact under `results/` (creating the directory), returning
 /// the path written.
 pub fn write_artifact(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
@@ -163,6 +265,32 @@ mod tests {
         assert_eq!(s.worst_p50_us, 1400.0);
         assert_eq!(s.worst_p99_us, 3100.25);
         assert!(s.render().contains("10 pings"));
+    }
+
+    #[test]
+    fn bench_log_survives_empty_recorders_and_renders_json() {
+        bench_reset();
+        let mut empty = LatencyRecorder::default();
+        bench_log("figX", "rtt", &mut empty);
+        let mut filled = LatencyRecorder::default();
+        for us in [100u64, 200, 300] {
+            filled.record(sim::Duration::from_micros(us));
+        }
+        bench_log("figX", "ul", &mut filled);
+        bench_wall("figX", 12.5);
+        let records = bench_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].count, 0);
+        assert_eq!(records[0].p99_us, 0.0);
+        assert_eq!(records[1].count, 3);
+        assert!(records[1].p50_us >= 100.0);
+        let json = bench_json();
+        assert!(json.contains("\"distributions\""));
+        assert!(json.contains("\"figure\": \"figX\""));
+        assert!(json.contains("\"wall_ms\": 12.500"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        bench_reset();
+        assert!(bench_records().is_empty());
     }
 
     #[test]

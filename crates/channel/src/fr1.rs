@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 use sim::faults::GeChain;
 use sim::SimRng;
+use telemetry::Telemetry;
 
 /// Configuration of an FR1 link.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -95,12 +96,18 @@ pub struct Fr1Link {
     burst: Option<GeChain>,
     transmissions: u64,
     losses: u64,
+    tel: Telemetry,
 }
 
 impl Fr1Link {
     /// Creates a link.
     pub fn new(config: Fr1LinkConfig) -> Fr1Link {
-        Fr1Link { config, burst: None, transmissions: 0, losses: 0 }
+        Fr1Link { config, burst: None, transmissions: 0, losses: 0, tel: Telemetry::disabled() }
+    }
+
+    /// Attaches a telemetry handle (`channel/*` loss counters).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Installs a Gilbert–Elliott burst-loss overlay.
@@ -155,8 +162,10 @@ impl Fr1Link {
             None => false,
         };
         let lost = base_lost || burst_lost;
+        self.tel.count("channel", "pkt", 1);
         if lost {
             self.losses += 1;
+            self.tel.count("channel", "pkt_lost", 1);
         }
         LossSample { lost, burst: burst_lost && !base_lost }
     }

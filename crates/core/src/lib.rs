@@ -22,6 +22,8 @@
 //! * [`reliability`] — the §6 analysis: how non-deterministic latency
 //!   (OS jitter) converts into deadline misses, and the
 //!   margin-vs-reliability trade;
+//! * [`audit`] — the per-ping deadline-budget audit: folds simulated
+//!   stage traces onto the model's terms and reports the residuals;
 //! * [`recovery`] — closed-form worst-case recovery latency: what an RLF
 //!   re-establishment detour or an N3 path-outage detection costs,
 //!   cross-checked against the stack simulation;
@@ -29,6 +31,7 @@
 //!   radio × kernel, quantifying §5's conclusion that "the set of possible
 //!   system designs is quite limited".
 
+pub mod audit;
 pub mod decompose;
 pub mod design;
 pub mod feasibility;
@@ -38,6 +41,7 @@ pub mod recovery;
 pub mod reliability;
 pub mod worst_case;
 
+pub use audit::{audit_traces, BudgetAudit};
 pub use decompose::{LatencyBreakdown, SourceShare};
 pub use design::{DesignPoint, DesignSearch, DesignVerdict};
 pub use feasibility::{feasibility_table, paper_table1, FeasibilityTable};

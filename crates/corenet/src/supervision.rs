@@ -14,6 +14,7 @@
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use sim::{Duration, Instant};
+use telemetry::{JournalEvent, Telemetry};
 
 use crate::gtpu::{GtpuHeader, MSG_ECHO_RESPONSE};
 use crate::upf::{Upf, UplinkOutcome};
@@ -105,6 +106,7 @@ pub struct PathSupervisor {
     events: Vec<PathEvent>,
     probes_sent: u64,
     probes_lost: u64,
+    tel: Telemetry,
 }
 
 impl PathSupervisor {
@@ -117,7 +119,20 @@ impl PathSupervisor {
             events: Vec::new(),
             probes_sent: 0,
             probes_lost: 0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle (`corenet/*` supervision metrics; path
+    /// transitions are journaled as [`JournalEvent::PathEvent`]s).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// Records a transition in both the local event log and the journal.
+    fn push_event(&mut self, at: Instant, kind: PathEventKind) {
+        self.tel.journal(JournalEvent::PathEvent { label: kind.label(), at });
+        self.events.push(PathEvent { at, kind });
     }
 
     /// The probe/retry policy in force.
@@ -161,13 +176,15 @@ impl PathSupervisor {
                 for attempt in 0..=self.config.max_retries {
                     self.probes_sent += 1;
                     self.probes_lost += 1;
+                    self.tel.count("corenet", "probes_sent", 1);
+                    self.tel.count("corenet", "probes_lost", 1);
                     self.next_seq = self.next_seq.wrapping_add(1);
                     elapsed += self.config.attempt_timeout(attempt);
-                    self.events
-                        .push(PathEvent { at: at + elapsed, kind: PathEventKind::ProbeLost });
+                    self.push_event(at + elapsed, PathEventKind::ProbeLost);
                 }
-                self.events.push(PathEvent { at: at + elapsed, kind: PathEventKind::PathDown });
-                self.events.push(PathEvent { at: at + elapsed, kind: PathEventKind::Failover });
+                self.push_event(at + elapsed, PathEventKind::PathDown);
+                self.push_event(at + elapsed, PathEventKind::Failover);
+                self.tel.count("corenet", "failovers", 1);
                 self.on_backup = true;
                 (true, elapsed)
             }
@@ -175,8 +192,9 @@ impl PathSupervisor {
                 // Background probing notices the primary answering again;
                 // switching back costs the packet nothing.
                 self.probes_sent += 1;
+                self.tel.count("corenet", "probes_sent", 1);
                 self.next_seq = self.next_seq.wrapping_add(1);
-                self.events.push(PathEvent { at, kind: PathEventKind::PathRestored });
+                self.push_event(at, PathEventKind::PathRestored);
                 self.on_backup = false;
                 (false, Duration::ZERO)
             }
@@ -192,6 +210,7 @@ impl PathSupervisor {
         let seq = self.next_seq;
         self.next_seq = self.next_seq.wrapping_add(1);
         self.probes_sent += 1;
+        self.tel.count("corenet", "probes_sent", 1);
         let probe: Bytes = GtpuHeader::echo_request(seq).encode(b"");
         let ok = match upf.uplink(&probe) {
             Ok(UplinkOutcome::EchoResponse(resp)) => match GtpuHeader::decode(&resp) {
@@ -202,6 +221,7 @@ impl PathSupervisor {
         };
         if !ok {
             self.probes_lost += 1;
+            self.tel.count("corenet", "probes_lost", 1);
         }
         ok
     }

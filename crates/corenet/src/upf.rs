@@ -8,6 +8,7 @@
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use telemetry::Telemetry;
 
 use crate::gtpu::{GtpuError, GtpuHeader, MSG_ECHO_REQUEST, MSG_GPDU};
 
@@ -93,12 +94,18 @@ pub struct Upf {
     pub forwarded: (u64, u64),
     /// Echo requests answered (path supervision round trips).
     pub echoes_answered: u64,
+    tel: Telemetry,
 }
 
 impl Upf {
     /// Creates an empty UPF.
     pub fn new() -> Upf {
         Upf { next_teid: 1, ..Upf::default() }
+    }
+
+    /// Attaches a telemetry handle (`corenet/*` GTP-U counters).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Establishes a PDU session; the UPF allocates the uplink TEID, the
@@ -151,10 +158,12 @@ impl Upf {
                     .copied()
                     .ok_or(UpfError::UnknownTeid { teid: header.teid })?;
                 self.forwarded.0 += 1;
+                self.tel.count("corenet", "ul_gpdu", 1);
                 Ok(UplinkOutcome::Data { session, payload })
             }
             MSG_ECHO_REQUEST => {
                 self.echoes_answered += 1;
+                self.tel.count("corenet", "echo_rsp", 1);
                 let seq = header.sequence.unwrap_or(0);
                 Ok(UplinkOutcome::EchoResponse(GtpuHeader::echo_response(seq).encode(b"")))
             }
@@ -167,6 +176,7 @@ impl Upf {
     pub fn downlink(&mut self, ue_addr: u32, payload: &Bytes) -> Result<Bytes, UpfError> {
         let session = self.by_ue.get(&ue_addr).copied().ok_or(UpfError::UnknownUe { ue_addr })?;
         self.forwarded.1 += 1;
+        self.tel.count("corenet", "dl_gpdu", 1);
         Ok(GtpuHeader::gpdu(session.dl_teid).encode(payload))
     }
 }

@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 use sim::{Duration, SimRng};
+use telemetry::Telemetry;
 
 use crate::interface::{FronthaulInterface, InterfaceKind};
 use crate::jitter::{JitterProcess, OsJitterConfig};
@@ -86,6 +87,7 @@ pub struct RadioHead {
     config: RadioHeadConfig,
     tx_jitter: JitterProcess,
     rx_jitter: JitterProcess,
+    tel: Telemetry,
 }
 
 impl RadioHead {
@@ -93,7 +95,12 @@ impl RadioHead {
     pub fn new(config: RadioHeadConfig) -> RadioHead {
         let tx_jitter = JitterProcess::new(config.jitter.clone());
         let rx_jitter = JitterProcess::new(config.jitter.clone());
-        RadioHead { config, tx_jitter, rx_jitter }
+        RadioHead { config, tx_jitter, rx_jitter, tel: Telemetry::disabled() }
+    }
+
+    /// Attaches a telemetry handle (`radio/*` latency histograms).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// The static configuration.
@@ -104,23 +111,33 @@ impl RadioHead {
     /// Latency of submitting `samples` complex samples to the device —
     /// the quantity plotted in Fig 5 (bus transfer + OS jitter).
     pub fn submit_latency(&mut self, samples: u64, rng: &mut SimRng) -> Duration {
-        self.config.interface.transfer_latency(samples, rng) + self.tx_jitter.sample(rng)
+        let bus = self.config.interface.transfer_latency(samples, rng);
+        let jitter = self.tx_jitter.sample(rng);
+        self.tel.record("radio", "bus_jitter_us", jitter);
+        self.tel.record("radio", "submit_us", bus + jitter);
+        bus + jitter
     }
 
     /// Full TX radio latency: submission + device buffering + DAC chain.
     /// This is the lead time the MAC scheduler must grant the radio before
     /// the scheduled air time (§4's interdependency note).
     pub fn tx_radio_latency(&mut self, samples: u64, rng: &mut SimRng) -> Duration {
-        self.submit_latency(samples, rng) + self.config.device_buffering + self.config.dac_pipeline
+        let total = self.submit_latency(samples, rng)
+            + self.config.device_buffering
+            + self.config.dac_pipeline;
+        self.tel.record("radio", "tx_us", total);
+        total
     }
 
     /// Full RX radio latency: ADC chain + device buffering + bus transfer
     /// back to the host (+ jitter on the receive thread).
     pub fn rx_radio_latency(&mut self, samples: u64, rng: &mut SimRng) -> Duration {
-        self.config.adc_pipeline
-            + self.config.device_buffering
-            + self.config.interface.transfer_latency(samples, rng)
-            + self.rx_jitter.sample(rng)
+        let bus = self.config.interface.transfer_latency(samples, rng);
+        let jitter = self.rx_jitter.sample(rng);
+        self.tel.record("radio", "bus_jitter_us", jitter);
+        let total = self.config.adc_pipeline + self.config.device_buffering + bus + jitter;
+        self.tel.record("radio", "rx_us", total);
+        total
     }
 
     /// Mean TX radio latency (no jitter), for analytical models.

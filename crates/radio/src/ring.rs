@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 use sim::{Duration, Instant};
+use telemetry::Telemetry;
 
 /// Outcome of one scheduled transmission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,6 +50,7 @@ pub struct RingStats {
 #[derive(Debug, Clone, Default)]
 pub struct TxRing {
     stats: RingStats,
+    tel: Telemetry,
 }
 
 impl TxRing {
@@ -57,9 +59,15 @@ impl TxRing {
         TxRing::default()
     }
 
+    /// Attaches a telemetry handle (`radio/ring_*` metrics).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
     /// Records a submission whose samples become ready at `ready` for a
     /// transmission scheduled to start at `air_time`.
     pub fn submit(&mut self, ready: Instant, air_time: Instant) -> TxOutcome {
+        self.tel.count("radio", "ring_submits", 1);
         match air_time.checked_duration_since(ready) {
             Some(margin) => {
                 self.stats.on_time += 1;
@@ -67,11 +75,15 @@ impl TxRing {
                     Some(w) => w.min(margin),
                     None => margin,
                 });
+                self.tel.record("radio", "ring_margin_us", margin);
                 TxOutcome::OnTime { margin }
             }
             None => {
                 self.stats.underruns += 1;
-                TxOutcome::Underrun { late_by: ready.duration_since(air_time) }
+                let late_by = ready.duration_since(air_time);
+                self.tel.count("radio", "ring_underruns", 1);
+                self.tel.record("radio", "ring_late_us", late_by);
+                TxOutcome::Underrun { late_by }
             }
         }
     }

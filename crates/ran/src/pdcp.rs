@@ -16,6 +16,7 @@ use bytes::Bytes;
 use phy::scrambling::GoldSequence;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use telemetry::Telemetry;
 
 /// PDCP sequence-number length in bits (this implementation fixes the
 /// 12-bit DRB variant; 18-bit exists in the spec for high-rate bearers).
@@ -168,6 +169,7 @@ pub struct PdcpEntity {
     tx_pending: BTreeMap<u32, Bytes>,
     /// SDUs retransmitted through status-report recovery.
     retransmitted: u64,
+    tel: Telemetry,
 }
 
 impl PdcpEntity {
@@ -182,7 +184,13 @@ impl PdcpEntity {
             discarded: 0,
             tx_pending: BTreeMap::new(),
             retransmitted: 0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle (PDU counters under `pdcp/*`).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// The entity configuration.
@@ -213,6 +221,7 @@ impl PdcpEntity {
         let count = self.tx_next;
         self.tx_next = self.tx_next.wrapping_add(1);
         self.tx_pending.insert(count, sdu.clone());
+        self.tel.count("pdcp", "tx_pdus", 1);
         self.encode_with_count(count, sdu)
     }
 
@@ -265,6 +274,7 @@ impl PdcpEntity {
             .map(|(&count, sdu)| self.encode_with_count(count, sdu))
             .collect();
         self.retransmitted += pdus.len() as u64;
+        self.tel.count("pdcp", "retx_pdus", pdus.len() as u64);
         pdus
     }
 
@@ -278,6 +288,7 @@ impl PdcpEntity {
             return Err(PdcpError::NotDataPdu);
         }
         let sn = (u32::from(pdu[0] & 0x0F) << 8) | u32::from(pdu[1]);
+        self.tel.count("pdcp", "rx_pdus", 1);
         let count = self.infer_count(sn);
         if count < self.rx_deliv || self.reorder.contains_key(&count) {
             self.discarded += 1;

@@ -16,6 +16,7 @@
 
 use bytes::Bytes;
 use std::collections::{BTreeMap, VecDeque};
+use telemetry::Telemetry;
 
 use super::{RlcError, SegmentInfo};
 
@@ -70,6 +71,7 @@ pub struct RlcUmEntity {
     rx: BTreeMap<u8, Reassembly>,
     delivered: u64,
     dropped_incomplete: u64,
+    tel: Telemetry,
 }
 
 impl RlcUmEntity {
@@ -78,9 +80,23 @@ impl RlcUmEntity {
         RlcUmEntity::default()
     }
 
+    /// Attaches a telemetry handle (PDU counters under `rlc/*`).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// RLC re-establishment (TS 38.322 §5.1.3): a fresh entity — buffers
+    /// discarded, SNs reset — that keeps the attached telemetry handle.
+    pub fn reestablished(&self) -> RlcUmEntity {
+        let mut e = RlcUmEntity::new();
+        e.set_telemetry(self.tel.clone());
+        e
+    }
+
     /// Queues an SDU for transmission (the "RLC queue" of Table 2 — data
     /// sits here until the MAC scheduler grants resources).
     pub fn tx_sdu(&mut self, sdu: Bytes) {
+        self.tel.count("rlc", "tx_sdus", 1);
         self.queue.push_back(sdu);
     }
 
@@ -158,6 +174,7 @@ impl RlcUmEntity {
         if pdu.is_empty() {
             return Err(RlcError::Truncated);
         }
+        self.tel.count("rlc", "rx_pdus", 1);
         let si = SegmentInfo::from_bits(pdu[0] >> 6);
         match si {
             SegmentInfo::Full => {

@@ -28,6 +28,7 @@
 
 use serde::{Deserialize, Serialize};
 use sim::{Duration, Instant, SimRng};
+use telemetry::Telemetry;
 
 use crate::rach::{self, RachConfig};
 
@@ -99,12 +100,25 @@ pub struct RrcEntity {
     state: RrcState,
     reestablishments: u64,
     failures: u64,
+    tel: Telemetry,
 }
 
 impl RrcEntity {
     /// A connected entity.
     pub fn new(config: RrcConfig, rach: RachConfig) -> RrcEntity {
-        RrcEntity { config, rach, state: RrcState::Connected, reestablishments: 0, failures: 0 }
+        RrcEntity {
+            config,
+            rach,
+            state: RrcState::Connected,
+            reestablishments: 0,
+            failures: 0,
+            tel: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle (`rrc/*` recovery metrics).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// The re-establishment policy.
@@ -140,9 +154,11 @@ impl RrcEntity {
     /// `None` when the re-establishment budget or the RACH attempt budget
     /// is exhausted; the entity is then [`Failed`](RrcState::Failed).
     pub fn recover(&mut self, at: Instant, rng: &mut SimRng) -> Option<RecoveryTimeline> {
+        self.tel.count("rrc", "rlf_detected", 1);
         if self.reestablishments >= u64::from(self.config.max_reestablishments) {
             self.state = RrcState::Failed;
             self.failures += 1;
+            self.tel.count("rrc", "reestablish_failed", 1);
             return None;
         }
         self.state = RrcState::Reestablishing;
@@ -152,16 +168,20 @@ impl RrcEntity {
         else {
             self.state = RrcState::Failed;
             self.failures += 1;
+            self.tel.count("rrc", "reestablish_failed", 1);
             return None;
         };
         self.reestablishments += 1;
         self.state = RrcState::Connected;
-        Some(RecoveryTimeline {
+        let timeline = RecoveryTimeline {
             detect,
             rach,
             reestablish: self.config.reestablish_processing,
             pdcp_recover: Duration::ZERO,
-        })
+        };
+        self.tel.count("rrc", "reestablish_ok", 1);
+        self.tel.record("rrc", "recovery_us", timeline.total());
+        Some(timeline)
     }
 
     /// Forgets past re-establishments and returns to

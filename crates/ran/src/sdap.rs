@@ -9,6 +9,7 @@
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use telemetry::Telemetry;
 
 /// A QoS Flow Identifier (0–63).
 pub type Qfi = u8;
@@ -73,12 +74,18 @@ impl std::error::Error for SdapError {}
 pub struct SdapEntity {
     mapping: BTreeMap<Qfi, DrbId>,
     default_drb: Option<DrbId>,
+    tel: Telemetry,
 }
 
 impl SdapEntity {
     /// Creates an entity with no mappings.
     pub fn new() -> SdapEntity {
         SdapEntity::default()
+    }
+
+    /// Attaches a telemetry handle (PDU counters under `sdap/*`).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Maps a QoS flow onto a bearer.
@@ -104,6 +111,7 @@ impl SdapEntity {
         let mut out = Vec::with_capacity(1 + sdu.len());
         out.push(SdapHeader { flag1: true, flag2: false, qfi }.encode());
         out.extend_from_slice(sdu);
+        self.tel.count("sdap", "tx_pdus", 1);
         Ok((drb, Bytes::from(out)))
     }
 
@@ -113,6 +121,7 @@ impl SdapEntity {
             return Err(SdapError::Truncated);
         }
         let header = SdapHeader::decode(pdu[0]);
+        self.tel.count("sdap", "rx_pdus", 1);
         Ok((header, pdu.slice(1..)))
     }
 }

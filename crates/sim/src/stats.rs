@@ -243,12 +243,24 @@ impl LatencyRecorder {
     /// # Panics
     /// Panics when empty.
     pub fn quantile_us(&mut self, q: f64) -> f64 {
-        assert!(!self.samples_us.is_empty(), "quantile of empty recorder");
+        self.try_quantile_us(q).expect("quantile of empty recorder")
+    }
+
+    /// Exact `q`-quantile like [`quantile_us`](Self::quantile_us), but
+    /// `None` when empty — use in report paths so an all-faulted sweep
+    /// (every sample lost) can't abort mid-report.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn try_quantile_us(&mut self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples_us.is_empty() {
+            return None;
+        }
         self.ensure_sorted();
         let n = self.samples_us.len();
         let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
-        self.samples_us[rank - 1]
+        Some(self.samples_us[rank - 1])
     }
 
     /// Fraction of samples at or below `deadline` — the paper's
@@ -451,5 +463,16 @@ mod tests {
     fn empty_recorder_summary_is_default() {
         let mut r = LatencyRecorder::new();
         assert_eq!(r.summary(), Summary::default());
+    }
+
+    #[test]
+    fn try_quantile_is_none_on_empty_and_matches_otherwise() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.try_quantile_us(0.5), None);
+        for i in 1..=100u64 {
+            r.record(Duration::from_micros(i));
+        }
+        assert_eq!(r.try_quantile_us(0.5), Some(50.0));
+        assert_eq!(r.try_quantile_us(0.99), Some(r.quantile_us(0.99)));
     }
 }

@@ -28,9 +28,12 @@ use sim::{
     PingFaultTrace, SimRng, StreamingStats, Summary,
 };
 
+use telemetry::{JournalEvent, Telemetry, TelemetrySummary};
+
 use crate::config::StackConfig;
 use crate::journey::{PingTrace, StageSpan};
 use crate::node::{GnbStack, UeStack};
+use crate::stage_labels as labels;
 
 /// gNB-side per-layer statistics (Table 2).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -123,6 +126,8 @@ pub struct ExperimentResult {
     pub attribution: FaultAttribution,
     /// Traces of the first few pings (Fig 3).
     pub traces: Vec<PingTrace>,
+    /// What telemetry collection saw (all-default when the run was dark).
+    pub telemetry: TelemetrySummary,
 }
 
 impl ExperimentResult {
@@ -155,6 +160,9 @@ pub struct PingExperiment {
     rrc: RrcEntity,
     supervisor: PathSupervisor,
     traces_wanted: usize,
+    tel: Telemetry,
+    /// Sequence number of the ping currently in flight (journal context).
+    ping: u64,
 }
 
 /// The UE's RNTI and address in every experiment.
@@ -197,6 +205,8 @@ impl PingExperiment {
             rrc: RrcEntity::new(config.rrc, config.rach),
             supervisor: PathSupervisor::new(config.supervision),
             traces_wanted: 3,
+            tel: Telemetry::disabled(),
+            ping: 0,
             gnb,
             config,
         }
@@ -205,6 +215,38 @@ impl PingExperiment {
     /// How many ping traces to keep (default 3).
     pub fn keep_traces(&mut self, n: usize) {
         self.traces_wanted = n;
+    }
+
+    /// Builds an experiment that records into `tel`.
+    pub fn new_instrumented(config: StackConfig, tel: Telemetry) -> PingExperiment {
+        let mut exp = PingExperiment::new(config);
+        exp.attach_telemetry(tel);
+        exp
+    }
+
+    /// Attaches a telemetry handle, propagating it to every layer entity
+    /// (UE/gNB stacks, radio heads, TX ring, path supervisor, RRC, the
+    /// channel model). Recording consumes no RNG draws and no simulated
+    /// time, so an instrumented run and a dark run produce bit-identical
+    /// results.
+    pub fn attach_telemetry(&mut self, tel: Telemetry) {
+        self.ue.set_telemetry(tel.clone());
+        self.gnb.set_telemetry(tel.clone());
+        self.gnb_radio.set_telemetry(tel.clone());
+        self.ue_radio.set_telemetry(tel.clone());
+        self.ring.set_telemetry(tel.clone());
+        self.supervisor.set_telemetry(tel.clone());
+        self.rrc.set_telemetry(tel.clone());
+        if let Some(link) = self.link.as_mut() {
+            link.set_telemetry(tel.clone());
+        }
+        self.tel = tel;
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`attach_telemetry`](Self::attach_telemetry) ran).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Runs `n` pings with the default inter-ping spacing of five pattern
@@ -230,6 +272,7 @@ impl PingExperiment {
         result.path_failovers = self.supervisor.failovers();
         result.path_probes = self.supervisor.probe_stats();
         result.path_events = self.supervisor.events().to_vec();
+        result.telemetry = self.tel.summary();
         result
     }
 
@@ -272,6 +315,7 @@ impl PingExperiment {
     fn harq_cycle(
         &mut self,
         dl_data: bool,
+        at: Instant,
         result: &mut ExperimentResult,
         ftrace: &mut PingFaultTrace,
     ) -> HarqCycle {
@@ -296,6 +340,7 @@ impl PingExperiment {
                 // delivery time of *this* packet is unaffected.
                 if self.injector.harq_feedback_corrupted() {
                     result.spurious_harq_retx += 1;
+                    self.tel.count("mac", "spurious_harq_retx", 1);
                     ftrace.record(FaultKind::HarqFeedback, Duration::ZERO);
                 }
                 return HarqCycle { extra, delivered: true, burst_caused };
@@ -305,9 +350,17 @@ impl PingExperiment {
             }
             if attempt == self.config.harq_max_tx {
                 result.harq_failures += 1;
+                self.tel.count("mac", "harq_failures", 1);
             } else {
                 result.harq_retx += 1;
                 extra += rtt;
+                self.tel.count("mac", "harq_retx", 1);
+                self.tel.journal(JournalEvent::HarqNack {
+                    ping: self.ping,
+                    dl: dl_data,
+                    round: attempt,
+                    at: at + extra,
+                });
                 if burst_lost && !base_lost {
                     ftrace.record(FaultKind::ChannelBurst, rtt);
                 }
@@ -324,12 +377,13 @@ impl PingExperiment {
     fn data_delivery(
         &mut self,
         dl_data: bool,
+        at: Instant,
         result: &mut ExperimentResult,
         ftrace: &mut PingFaultTrace,
     ) -> Result<Duration, Duration> {
         let mut extra = Duration::ZERO;
         for round in 0..=self.config.rlc_max_retx {
-            let cycle = self.harq_cycle(dl_data, result, ftrace);
+            let cycle = self.harq_cycle(dl_data, at + extra, result, ftrace);
             extra += cycle.extra;
             if cycle.delivered {
                 return Ok(extra);
@@ -340,6 +394,7 @@ impl PingExperiment {
             // The receiver's next status report NACKs the SN and the
             // sender retransmits through a fresh HARQ cycle.
             result.rlc_escalations += 1;
+            self.tel.count("rlc", "am_retx_rounds", 1);
             let recovery = ran::harq::rlc_recovery_round_trip(
                 &self.config.duplex,
                 dl_data,
@@ -371,6 +426,7 @@ impl PingExperiment {
     ) -> Option<(Instant, Instant, Vec<Bytes>)> {
         let Some(timeline) = self.rrc.recover(at, self.injector.recovery_rng()) else {
             result.recovery_failures += 1;
+            self.tel.journal(JournalEvent::RrcReestablished { ping: self.ping, at, ok: false });
             return None;
         };
         // Msg1/Msg3 of the re-access ride the same air interface: age the
@@ -386,9 +442,14 @@ impl PingExperiment {
         let detected = at + timeline.detect;
         let reaccessed = detected + timeline.rach;
         let reestablished = reaccessed + timeline.reestablish;
-        spans.push(StageSpan::new("RLF detect", at, detected));
-        spans.push(StageSpan::new("RACH re-access", detected, reaccessed));
-        spans.push(StageSpan::new("RRC reestablish", reaccessed, reestablished));
+        spans.push(StageSpan::new(labels::RLF_DETECT, at, detected));
+        spans.push(StageSpan::new(labels::RACH_REACCESS, detected, reaccessed));
+        spans.push(StageSpan::new(labels::RRC_REESTABLISH, reaccessed, reestablished));
+        self.tel.journal(JournalEvent::RrcReestablished {
+            ping: self.ping,
+            at: reestablished,
+            ok: true,
+        });
         // Both peers re-establish RLC; the receiver's PDCP status report
         // drives the sender's data recovery over real bytes, preserving SN
         // continuity. The exchange costs one status round trip on the
@@ -440,11 +501,11 @@ impl PingExperiment {
         // is currently in flight.
         let mut pending: Option<(Instant, Instant)> = None;
         loop {
-            match self.data_delivery(dl, result, ftrace) {
+            match self.data_delivery(dl, tx_end, result, ftrace) {
                 Ok(extra) => {
                     let done = tx_end + extra;
                     if let Some((span_start, failed_at)) = pending {
-                        spans.push(StageSpan::new("PDCP recover", span_start, done));
+                        spans.push(StageSpan::new(labels::PDCP_RECOVER, span_start, done));
                         result.recovery.record(done - failed_at);
                         if let Some(kind) = ftrace.dominant() {
                             ftrace.record(kind, done - failed_at);
@@ -457,7 +518,7 @@ impl PingExperiment {
                     if let Some((span_start, prev_failed)) = pending.take() {
                         // The retried block died too: close the previous
                         // recovery's ledger at this new failure.
-                        spans.push(StageSpan::new("PDCP recover", span_start, failed_at));
+                        spans.push(StageSpan::new(labels::PDCP_RECOVER, span_start, failed_at));
                         result.recovery.record(failed_at - prev_failed);
                     }
                     result.rlf.push(RlfEvent {
@@ -466,6 +527,7 @@ impl PingExperiment {
                         dominant: ftrace.dominant(),
                         recovered: false,
                     });
+                    self.tel.journal(JournalEvent::Rlf { ping, dl, at: failed_at });
                     let (resume, span_start, pdus) =
                         self.recover_rlf(dl, failed_at, grant_bytes, spans, result)?;
                     if let Some(ev) = result.rlf.last_mut() {
@@ -495,6 +557,12 @@ impl PingExperiment {
         let (on_backup, detection) = self.supervisor.traverse(at, primary_down);
         if detection > Duration::ZERO {
             ftrace.record(FaultKind::PathFailure, detection);
+            self.tel.record("corenet", "detection_us", detection);
+            self.tel.journal(JournalEvent::FaultInjected {
+                kind: FaultKind::PathFailure,
+                at,
+                extra: detection,
+            });
             // Validate the freshly adopted path with a real GTP-U echo
             // round trip through the UPF (type 1 → type 2, sequence
             // echoed).
@@ -507,12 +575,53 @@ impl PingExperiment {
             // No backup provisioned: the outage stalls on the primary.
             _ => &self.config.backbone,
         };
-        detection + link.sample(&mut self.rng_net)
+        let n3 = link.sample(&mut self.rng_net);
+        self.tel.record("corenet", "n3_us", n3);
+        detection + n3
     }
 
     fn one_ping(&mut self, id: u64, t0: Instant, result: &mut ExperimentResult) {
         let mut trace = PingTrace::new(id);
         let mut ftrace = PingFaultTrace::new();
+        self.ping = id;
+        self.ping_flow(t0, result, &mut trace, &mut ftrace);
+        // Journal the journey (every ping, not just the kept traces: the
+        // ring buffer decides what survives).
+        if self.tel.is_enabled() {
+            for s in &trace.ul {
+                self.tel.journal(JournalEvent::Stage {
+                    ping: id,
+                    dl: false,
+                    label: s.label,
+                    start: s.start,
+                    end: s.end,
+                });
+            }
+            for s in &trace.dl {
+                self.tel.journal(JournalEvent::Stage {
+                    ping: id,
+                    dl: true,
+                    label: s.label,
+                    start: s.start,
+                    end: s.end,
+                });
+            }
+        }
+        if result.traces.len() < self.traces_wanted {
+            result.traces.push(trace);
+        }
+    }
+
+    /// The journey itself. Early returns are lost pings: the wrapper
+    /// still journals and keeps whatever trace accumulated.
+    fn ping_flow(
+        &mut self,
+        t0: Instant,
+        result: &mut ExperimentResult,
+        trace: &mut PingTrace,
+        ftrace: &mut PingFaultTrace,
+    ) {
+        let id = self.ping;
         // Pings are spaced far apart: a connection that survived to the
         // next ping has been stable long enough for the re-establishment
         // counters to clear, so the budget bounds one incident chain.
@@ -526,7 +635,7 @@ impl PingExperiment {
         let ue_upper =
             self.sample_ue(|t| &t.sdap) + self.sample_ue(|t| &t.pdcp) + self.sample_ue(|t| &t.rlc);
         let in_rlc = t0 + ue_upper;
-        trace.ul.push(StageSpan::new("APP↓", t0, in_rlc));
+        trace.ul.push(StageSpan::new(labels::APP_DOWN, t0, in_rlc));
 
         // Build the actual MAC PDU(s) now (content is time-independent).
         let grant_bytes = cfg.grant_bytes();
@@ -566,19 +675,32 @@ impl PingExperiment {
                                 .next_ul_opportunity(cfg.duplex.slot_start(sr_op.slot + 1));
                             ftrace.record(FaultKind::SrLoss, next.tx_start - sr_op.tx_start);
                             result.sr_retx += 1;
+                            self.tel.count("mac", "sr_retx", 1);
+                            self.tel.journal(JournalEvent::SrAttempt {
+                                ping: id,
+                                at: sr_op.tx_start,
+                                lost: true,
+                            });
                             probe = cfg.duplex.slot_start(sr_op.slot + 1);
                             continue;
                         }
                         let sr_rx = sr_op.tx_start + sr_air;
-                        trace.ul.push(StageSpan::new("wait UL slot", in_rlc, sr_op.tx_start));
-                        trace.ul.push(StageSpan::new("SR", sr_op.tx_start, sr_rx));
+                        self.tel.journal(JournalEvent::SrAttempt {
+                            ping: id,
+                            at: sr_op.tx_start,
+                            lost: false,
+                        });
+                        trace.ul.push(StageSpan::new(labels::WAIT_UL_SLOT, in_rlc, sr_op.tx_start));
+                        trace.ul.push(StageSpan::new(labels::SR, sr_op.tx_start, sr_rx));
                         // gNB decodes the SR: PHY + MAC.
                         let d_phy = self.sample_gnb(|t| &t.phy);
                         let d_mac = self.sample_gnb(|t| &t.mac);
                         result.layers.phy.push(d_phy.as_micros_f64());
                         result.layers.mac.push(d_mac.as_micros_f64());
+                        self.tel.record("phy", "proc_us", d_phy);
+                        self.tel.record("mac", "proc_us", d_mac);
                         let ready = sr_rx + d_phy + d_mac;
-                        trace.ul.push(StageSpan::new("SR decode", sr_rx, ready));
+                        trace.ul.push(StageSpan::new(labels::SR_DECODE, sr_rx, ready));
                         sr_ready = Some(ready);
                     } else if sr_proc.needs_rach() {
                         let giving_up = sr_op.tx_start;
@@ -590,8 +712,13 @@ impl PingExperiment {
                         ) {
                             Some(lat) => {
                                 result.rach_recoveries += 1;
+                                self.tel.count("mac", "rach_recoveries", 1);
                                 ftrace.record(FaultKind::SrLoss, lat);
-                                trace.ul.push(StageSpan::new("RACH", giving_up, giving_up + lat));
+                                trace.ul.push(StageSpan::new(
+                                    labels::RACH,
+                                    giving_up,
+                                    giving_up + lat,
+                                ));
                                 sr_proc.on_rach_complete();
                                 sr_ready = Some(giving_up + lat);
                             }
@@ -599,9 +726,6 @@ impl PingExperiment {
                                 // Random access failed too: the UE never
                                 // regains uplink access for this packet.
                                 result.attribution.record_lost(ftrace.dominant());
-                                if result.traces.len() < self.traces_wanted {
-                                    result.traces.push(trace);
-                                }
                                 return;
                             }
                         }
@@ -626,6 +750,12 @@ impl PingExperiment {
                     };
                     if self.injector.grant_withheld() {
                         result.grants_withheld += 1;
+                        self.tel.count("mac", "grants_withheld", 1);
+                        self.tel.journal(JournalEvent::FaultInjected {
+                            kind: FaultKind::GrantWithheld,
+                            at: g.grant_tx,
+                            extra: Duration::ZERO,
+                        });
                         first_withheld = first_withheld.or(Some(g.grant_tx));
                         let retry = cfg.duplex.slot_start(g.ul.slot + 1);
                         self.sched.on_sr(RNTI, retry);
@@ -642,26 +772,28 @@ impl PingExperiment {
                         cfg.duplex.slot_start(boundary_slot) - first_withheld.unwrap_or(sr_ready),
                     );
                     result.attribution.record_lost(ftrace.dominant());
-                    if result.traces.len() < self.traces_wanted {
-                        result.traces.push(trace);
-                    }
                     return;
                 };
                 if let Some(first) = first_withheld {
                     ftrace.record(FaultKind::GrantWithheld, grant.grant_tx - first);
                 }
                 trace.ul.push(StageSpan::new(
-                    "SCHE",
+                    labels::SCHE,
                     sr_ready,
                     cfg.duplex.slot_start(boundary_slot),
                 ));
                 let dci_air = nu.symbol_offset(2); // two-symbol CORESET
                 let grant_rx = grant.grant_tx + dci_air;
-                trace.ul.push(StageSpan::new("UL grant", grant.grant_tx, grant_rx));
+                self.tel.journal(JournalEvent::Grant {
+                    ping: id,
+                    at: grant_rx,
+                    bytes: grant_bytes,
+                });
+                trace.ul.push(StageSpan::new(labels::UL_GRANT, grant.grant_tx, grant_rx));
                 // UE decodes the grant and prepares (MAC + PHY).
                 let prep = self.sample_ue(|t| &t.mac);
                 let ue_ready = grant_rx + prep + ue_phy;
-                trace.ul.push(StageSpan::new("UE prep", grant_rx, ue_ready));
+                trace.ul.push(StageSpan::new(labels::UE_PREP, grant_rx, ue_ready));
                 (ue_ready, Some(grant.ul.slot))
             }
         };
@@ -669,10 +801,10 @@ impl PingExperiment {
         // ⑥ Transmit the UL data in the granted/next reachable opportunity.
         let tx_start =
             self.ul_tx_start(samples_ready, ue_submit, granted_slot, &mut result.missed_grants);
-        trace.ul.push(StageSpan::new("wait UL slot", samples_ready.min(tx_start), tx_start));
+        trace.ul.push(StageSpan::new(labels::WAIT_UL_SLOT, samples_ready.min(tx_start), tx_start));
         let air = cfg.data_air_time(mac_pdu.len());
         let tx_end = tx_start + air;
-        trace.ul.push(StageSpan::new("UL data", tx_start, tx_end));
+        trace.ul.push(StageSpan::new(labels::UL_DATA, tx_start, tx_end));
 
         // ⑦ gNB receives: radio, PHY, MAC↑, RLC, PDCP, SDAP, then GTP-U.
         // Channel loss first costs HARQ rounds (§8's retransmission
@@ -688,22 +820,25 @@ impl PingExperiment {
             cfg.grant_bytes(),
             &mut trace.ul,
             result,
-            &mut ftrace,
+            ftrace,
         ) else {
             result.attribution.record_lost(ftrace.dominant());
-            if result.traces.len() < self.traces_wanted {
-                result.traces.push(trace);
-            }
             return;
         };
         let rx_radio = self.gnb_radio.rx_radio_latency(ul_samples as u64, &mut self.rng_gnb);
         // An OS-jitter storm on the fronthaul stalls the receive thread.
         let storm = self.injector.storm_delay();
+        let host_rx = tx_end + rx_radio + storm;
         if storm > Duration::ZERO {
             ftrace.record(FaultKind::JitterStorm, storm);
+            self.tel.record("radio", "storm_us", storm);
+            self.tel.journal(JournalEvent::FaultInjected {
+                kind: FaultKind::JitterStorm,
+                at: host_rx,
+                extra: storm,
+            });
         }
-        let host_rx = tx_end + rx_radio + storm;
-        trace.ul.push(StageSpan::new("radio", tx_end, host_rx));
+        trace.ul.push(StageSpan::new(labels::RADIO, tx_end, host_rx));
         let d_phy = self.sample_gnb(|t| &t.phy);
         let d_mac = self.sample_gnb(|t| &t.mac);
         let d_rlc = self.sample_gnb(|t| &t.rlc);
@@ -714,8 +849,13 @@ impl PingExperiment {
         result.layers.rlc.push(d_rlc.as_micros_f64());
         result.layers.pdcp.push(d_pdcp.as_micros_f64());
         result.layers.sdap.push(d_sdap.as_micros_f64());
+        self.tel.record("phy", "proc_us", d_phy);
+        self.tel.record("mac", "proc_us", d_mac);
+        self.tel.record("rlc", "proc_us", d_rlc);
+        self.tel.record("pdcp", "proc_us", d_pdcp);
+        self.tel.record("sdap", "proc_us", d_sdap);
         let decoded_at = host_rx + d_phy + d_mac + d_rlc + d_pdcp + d_sdap;
-        trace.ul.push(StageSpan::new("MAC↑", host_rx, decoded_at));
+        trace.ul.push(StageSpan::new(labels::MAC_UP, host_rx, decoded_at));
 
         // Actually decode the bytes (through PHY samples) and check them.
         // After a recovery, both RLC entities restarted their numbering
@@ -750,10 +890,15 @@ impl PingExperiment {
         let spike = self.injector.backbone_spike();
         if spike > Duration::ZERO {
             ftrace.record(FaultKind::BackboneSpike, spike);
+            self.tel.journal(JournalEvent::FaultInjected {
+                kind: FaultKind::BackboneSpike,
+                at: decoded_at,
+                extra: spike,
+            });
         }
-        let net = self.backbone_traverse(decoded_at, result, &mut ftrace) + spike;
+        let net = self.backbone_traverse(decoded_at, result, ftrace) + spike;
         let ul_done = decoded_at + net;
-        trace.ul.push(StageSpan::new("UPF", decoded_at, ul_done));
+        trace.ul.push(StageSpan::new(labels::UPF, decoded_at, ul_done));
         result.ul.record(ul_done - t0);
 
         // ---------- DOWNLINK (reply) ----------
@@ -762,8 +907,13 @@ impl PingExperiment {
         let spike = self.injector.backbone_spike();
         if spike > Duration::ZERO {
             ftrace.record(FaultKind::BackboneSpike, spike);
+            self.tel.journal(JournalEvent::FaultInjected {
+                kind: FaultKind::BackboneSpike,
+                at: dl_t0,
+                extra: spike,
+            });
         }
-        let net = self.backbone_traverse(dl_t0, result, &mut ftrace) + spike;
+        let net = self.backbone_traverse(dl_t0, result, ftrace) + spike;
         let at_gnb = dl_t0 + net;
         let d_sdap = self.sample_gnb(|t| &t.sdap);
         let d_pdcp = self.sample_gnb(|t| &t.pdcp);
@@ -771,8 +921,11 @@ impl PingExperiment {
         result.layers.sdap.push(d_sdap.as_micros_f64());
         result.layers.pdcp.push(d_pdcp.as_micros_f64());
         result.layers.rlc.push(d_rlc.as_micros_f64());
+        self.tel.record("sdap", "proc_us", d_sdap);
+        self.tel.record("pdcp", "proc_us", d_pdcp);
+        self.tel.record("rlc", "proc_us", d_rlc);
         let in_rlc_q = at_gnb + d_sdap + d_pdcp + d_rlc;
-        trace.dl.push(StageSpan::new("SDAP↓", at_gnb, in_rlc_q));
+        trace.dl.push(StageSpan::new(labels::SDAP_DOWN, at_gnb, in_rlc_q));
 
         // Build the DL MAC PDU(s).
         let reply = Bytes::from(make_payload(id | 0x8000_0000_0000_0000, cfg.payload_bytes));
@@ -804,9 +957,6 @@ impl PingExperiment {
         let Some(assign) = assignment else {
             // The scheduler never served the reply: the ping is lost.
             result.attribution.record_lost(ftrace.dominant());
-            if result.traces.len() < self.traces_wanted {
-                result.traces.push(trace);
-            }
             return;
         };
         let dl_tx = assign.dl.tx_start;
@@ -816,7 +966,8 @@ impl PingExperiment {
         // scheduling decision itself.
         let tb_build = decision_time.max(dl_tx - cfg.duplex.slot_duration() * 2);
         result.layers.rlcq.push((tb_build - in_rlc_q).as_micros_f64());
-        trace.dl.push(StageSpan::new("RLC-q", in_rlc_q, tb_build));
+        self.tel.record("rlc", "queue_us", tb_build - in_rlc_q);
+        trace.dl.push(StageSpan::new(labels::RLC_Q, in_rlc_q, tb_build));
 
         // ⑩ MAC/PHY prepare the slot and submit samples to the radio; they
         // must beat the air time (§4's margin, §6's reliability risk).
@@ -824,11 +975,21 @@ impl PingExperiment {
         let d_phy = self.sample_gnb(|t| &t.phy);
         result.layers.mac.push(d_mac.as_micros_f64());
         result.layers.phy.push(d_phy.as_micros_f64());
+        self.tel.record("mac", "proc_us", d_mac);
+        self.tel.record("phy", "proc_us", d_phy);
         let submit = self.gnb_radio.tx_radio_latency(dl_samples as u64, &mut self.rng_gnb);
         // A fronthaul storm stalls the submission thread — exactly the §4
         // failure mode: samples that miss their slot corrupt it.
         let storm = self.injector.storm_delay();
         let samples_at_rh = tb_build + d_mac + d_phy + submit + storm;
+        if storm > Duration::ZERO {
+            self.tel.record("radio", "storm_us", storm);
+            self.tel.journal(JournalEvent::FaultInjected {
+                kind: FaultKind::JitterStorm,
+                at: samples_at_rh,
+                extra: storm,
+            });
+        }
         let outcome = self.ring.submit(samples_at_rh, dl_tx);
         let dl_tx = if outcome.is_on_time() {
             if storm > Duration::ZERO {
@@ -845,7 +1006,7 @@ impl PingExperiment {
             retry
         };
         let air = cfg.data_air_time(dl_pdu.len());
-        trace.dl.push(StageSpan::new("DL data", dl_tx, dl_tx + air));
+        trace.dl.push(StageSpan::new(labels::DL_DATA, dl_tx, dl_tx + air));
         let Some((dl_rx_end, recovered_dl)) = self.deliver_with_recovery(
             true,
             id,
@@ -854,12 +1015,9 @@ impl PingExperiment {
             cfg.slot_capacity_bytes(),
             &mut trace.dl,
             result,
-            &mut ftrace,
+            ftrace,
         ) else {
             result.attribution.record_lost(ftrace.dominant());
-            if result.traces.len() < self.traces_wanted {
-                result.traces.push(trace);
-            }
             return;
         };
 
@@ -869,7 +1027,7 @@ impl PingExperiment {
         let ue_upper =
             self.sample_ue(|t| &t.rlc) + self.sample_ue(|t| &t.pdcp) + self.sample_ue(|t| &t.sdap);
         let delivered = dl_rx_end + ue_rx_radio + ue_phy + ue_upper;
-        trace.dl.push(StageSpan::new("PHY↑", dl_rx_end, delivered));
+        trace.dl.push(StageSpan::new(labels::PHY_UP, dl_rx_end, delivered));
 
         // Decode the actual bytes (the recovered PDUs when an RLF detour
         // re-established the bearer mid-reply).
@@ -902,9 +1060,6 @@ impl PingExperiment {
         let rtt = delivered - t0;
         result.rtt.record(rtt);
         result.attribution.record_delivered(rtt <= cfg.deadline, ftrace.dominant());
-        if result.traces.len() < self.traces_wanted {
-            result.traces.push(trace);
-        }
     }
 }
 

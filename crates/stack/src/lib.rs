@@ -16,6 +16,8 @@
 //! * [`experiment`] — the end-to-end ping experiment: per-direction latency
 //!   distributions (Fig 6), per-layer processing statistics (Table 2),
 //!   radio deadline bookkeeping (§6 reliability);
+//! * [`stage_labels`] — the canonical Fig-3 stage vocabulary shared by
+//!   traces, telemetry keys and the deadline-budget auditor;
 //! * [`multi_ue`] — the §9 scalability experiment: uplink latency and
 //!   resource waste as the UE population grows, grant-free vs grant-based;
 //! * [`coexistence`] — URLLC sharing the downlink with eMBB: queueing vs
@@ -27,6 +29,7 @@ pub mod experiment;
 pub mod journey;
 pub mod multi_ue;
 pub mod node;
+pub mod stage_labels;
 
 pub use coexistence::{coexistence_sweep, CoexistencePoint, CoexistencePolicy};
 pub use config::StackConfig;

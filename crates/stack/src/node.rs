@@ -19,6 +19,7 @@ use ran::sched::Rnti;
 use ran::sdap::SdapEntity;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use telemetry::Telemetry;
 
 /// The QFI used for ping traffic (9 = default internet QoS flow).
 pub const PING_QFI: u8 = 9;
@@ -92,6 +93,13 @@ impl UeStack {
         }
     }
 
+    /// Attaches a telemetry handle, propagating it to every layer entity.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.sdap.set_telemetry(tel.clone());
+        self.pdcp.set_telemetry(tel.clone());
+        self.rlc.set_telemetry(tel);
+    }
+
     /// Encodes an application payload into uplink MAC PDUs, each at most
     /// `grant_bytes` long (several when the grant forces segmentation).
     pub fn encode_uplink(
@@ -148,7 +156,7 @@ impl UeStack {
     ) -> Result<Vec<Bytes>, StackError> {
         let report = ran::pdcp::PdcpStatusReport::decode(status_report)
             .map_err(|e| StackError::Pdcp(e.to_string()))?;
-        self.rlc = RlcUmEntity::new();
+        self.rlc = self.rlc.reestablished();
         for pdcp_pdu in self.pdcp.retransmit_unconfirmed(&report) {
             self.rlc.tx_sdu(pdcp_pdu);
         }
@@ -159,7 +167,7 @@ impl UeStack {
     /// entity and produces the encoded PDCP status report
     /// (TS 38.323 §6.2.3.1) the gNB needs for its data recovery.
     pub fn reestablish_downlink(&mut self) -> Bytes {
-        self.rlc = RlcUmEntity::new();
+        self.rlc = self.rlc.reestablished();
         self.pdcp.status_report().encode()
     }
 
@@ -222,6 +230,7 @@ pub struct GnbStack {
     /// tunnel on a fresh TEID without breaking downlink delivery.
     dl_routes: BTreeMap<u32, Rnti>,
     next_dl_teid: u32,
+    tel: Telemetry,
 }
 
 impl Default for GnbStack {
@@ -238,7 +247,20 @@ impl GnbStack {
             upf: Upf::new(),
             dl_routes: BTreeMap::new(),
             next_dl_teid: 0x1_0000,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle, propagating it to the UPF and every
+    /// attached UE's layer entities (kept for UEs attached later).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.upf.set_telemetry(tel.clone());
+        for ctx in self.contexts.values_mut() {
+            ctx.sdap.set_telemetry(tel.clone());
+            ctx.pdcp.set_telemetry(tel.clone());
+            ctx.rlc.set_telemetry(tel.clone());
+        }
+        self.tel = tel;
     }
 
     /// Attaches a UE: creates the per-UE layer entities and a PDU session
@@ -246,18 +268,15 @@ impl GnbStack {
     pub fn attach_ue(&mut self, rnti: Rnti, key: u64, ue_addr: u32) {
         let mut sdap = SdapEntity::new();
         sdap.map_flow(PING_QFI, PING_LCID);
+        let mut pdcp = PdcpEntity::new(PdcpConfig::new(key, PING_LCID, Direction::Downlink));
+        let mut rlc = RlcUmEntity::new();
+        sdap.set_telemetry(self.tel.clone());
+        pdcp.set_telemetry(self.tel.clone());
+        rlc.set_telemetry(self.tel.clone());
         let dl_teid = u32::from(rnti) + 0x100;
         let session = self.upf.establish_session(ue_addr, dl_teid);
         self.dl_routes.insert(dl_teid, rnti);
-        self.contexts.insert(
-            rnti,
-            UeContext {
-                pdcp: PdcpEntity::new(PdcpConfig::new(key, PING_LCID, Direction::Downlink)),
-                rlc: RlcUmEntity::new(),
-                sdap,
-                session,
-            },
-        );
+        self.contexts.insert(rnti, UeContext { pdcp, rlc, sdap, session });
     }
 
     /// Attached UE count.
@@ -396,7 +415,7 @@ impl GnbStack {
     /// report (TS 38.323 §6.2.3.1) that drives the UE's data recovery.
     pub fn reestablish_uplink(&mut self, rnti: Rnti) -> Result<Bytes, StackError> {
         let ctx = self.ctx(rnti)?;
-        ctx.rlc = RlcUmEntity::new();
+        ctx.rlc = ctx.rlc.reestablished();
         Ok(ctx.pdcp.status_report().encode())
     }
 
@@ -413,7 +432,7 @@ impl GnbStack {
         let report = ran::pdcp::PdcpStatusReport::decode(status_report)
             .map_err(|e| StackError::Pdcp(e.to_string()))?;
         let ctx = self.ctx(rnti)?;
-        ctx.rlc = RlcUmEntity::new();
+        ctx.rlc = ctx.rlc.reestablished();
         for pdcp_pdu in ctx.pdcp.retransmit_unconfirmed(&report) {
             ctx.rlc.tx_sdu(pdcp_pdu);
         }

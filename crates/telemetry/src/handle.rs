@@ -1,0 +1,206 @@
+//! The cheap, cloneable [`Telemetry`] handle every layer records through.
+//!
+//! A handle is either *disabled* (the default — every call is a no-op on
+//! a `None`, no allocation, no locking) or *enabled*, in which case all
+//! clones share one registry + journal behind an `Arc<Mutex<..>>`. The
+//! simulation is single-threaded, so the mutex is uncontended; it exists
+//! so clones embedded in `Clone`able entities (PDCP, RLC, radio heads)
+//! stay coherent without threading `&mut` borrows through every layer.
+//!
+//! Crucially, recording consumes **no RNG draws and no simulated time** —
+//! an instrumented run and a dark run produce bit-identical results (the
+//! determinism test in `tests/` holds this line).
+
+use std::sync::{Arc, Mutex};
+
+use sim::Duration;
+
+use crate::journal::{EventJournal, JournalEvent};
+use crate::registry::{MetricKey, MetricsRegistry, MetricsSnapshot};
+
+#[derive(Debug)]
+struct TelemetryInner {
+    registry: MetricsRegistry,
+    journal: EventJournal,
+}
+
+/// Shared telemetry sink; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Mutex<TelemetryInner>>>,
+}
+
+impl Telemetry {
+    /// An enabled handle with a journal ring of `journal_capacity` events.
+    pub fn new(journal_capacity: usize) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Mutex::new(TelemetryInner {
+                registry: MetricsRegistry::new(),
+                journal: EventJournal::new(journal_capacity),
+            }))),
+        }
+    }
+
+    /// A disabled handle: every recording call is a no-op.
+    pub fn disabled() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut TelemetryInner) -> R) -> Option<R> {
+        self.inner.as_ref().map(|inner| f(&mut inner.lock().expect("telemetry mutex poisoned")))
+    }
+
+    /// Adds `n` to counter `layer/name`.
+    pub fn count(&self, layer: &'static str, name: &'static str, n: u64) {
+        self.with(|t| t.registry.count(MetricKey::new(layer, name), n));
+    }
+
+    /// Adds `n` to counter `layer/name{label}`.
+    pub fn count_labeled(
+        &self,
+        layer: &'static str,
+        name: &'static str,
+        label: &'static str,
+        n: u64,
+    ) {
+        self.with(|t| t.registry.count(MetricKey::labeled(layer, name, label), n));
+    }
+
+    /// Sets gauge `layer/name`.
+    pub fn gauge(&self, layer: &'static str, name: &'static str, value: f64) {
+        self.with(|t| t.registry.gauge(MetricKey::new(layer, name), value));
+    }
+
+    /// Records a duration into histogram `layer/name`.
+    pub fn record(&self, layer: &'static str, name: &'static str, d: Duration) {
+        self.with(|t| t.registry.record(MetricKey::new(layer, name), d));
+    }
+
+    /// Records a duration into histogram `layer/name{label}`.
+    pub fn record_labeled(
+        &self,
+        layer: &'static str,
+        name: &'static str,
+        label: &'static str,
+        d: Duration,
+    ) {
+        self.with(|t| t.registry.record(MetricKey::labeled(layer, name, label), d));
+    }
+
+    /// Appends an event to the journal.
+    pub fn journal(&self, event: JournalEvent) {
+        self.with(|t| t.journal.push(event));
+    }
+
+    /// Snapshot of all metrics (empty when disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.with(|t| t.registry.snapshot()).unwrap_or_default()
+    }
+
+    /// The journal's retained window, oldest first (empty when disabled).
+    pub fn journal_events(&self) -> Vec<JournalEvent> {
+        self.with(|t| t.journal.to_vec()).unwrap_or_default()
+    }
+
+    /// Events shed by journal overflow.
+    pub fn journal_dropped(&self) -> u64 {
+        self.with(|t| t.journal.dropped()).unwrap_or(0)
+    }
+
+    /// Compact summary for embedding in experiment results.
+    pub fn summary(&self) -> TelemetrySummary {
+        self.with(|t| {
+            let snap = t.registry.snapshot();
+            TelemetrySummary {
+                enabled: true,
+                metric_keys: snap.len(),
+                layers: snap.layers().iter().map(|s| s.to_string()).collect(),
+                journal_events: t.journal.len(),
+                journal_dropped: t.journal.dropped(),
+            }
+        })
+        .unwrap_or_default()
+    }
+}
+
+/// What an experiment reports about its telemetry collection.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySummary {
+    /// `false` when the run was dark (no handle attached).
+    pub enabled: bool,
+    /// Distinct metric keys recorded.
+    pub metric_keys: usize,
+    /// Distinct layer namespaces that recorded at least one metric.
+    pub layers: Vec<String>,
+    /// Journal events retained at run end.
+    pub journal_events: usize,
+    /// Journal events shed to ring overflow.
+    pub journal_dropped: u64,
+}
+
+impl TelemetrySummary {
+    /// One-line report form.
+    pub fn render(&self) -> String {
+        if !self.enabled {
+            return "telemetry: off".to_string();
+        }
+        format!(
+            "telemetry: {} keys across {} layers [{}], journal {} events ({} dropped)",
+            self.metric_keys,
+            self.layers.len(),
+            self.layers.join(", "),
+            self.journal_events,
+            self.journal_dropped,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::Instant;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        t.count("mac", "harq_retx", 1);
+        t.record("radio", "submit_us", Duration::from_micros(3));
+        t.journal(JournalEvent::Marker { layer: "x", label: "y", at: Instant::ZERO });
+        assert!(!t.is_enabled());
+        assert!(t.snapshot().is_empty());
+        assert!(t.journal_events().is_empty());
+        assert_eq!(t.summary(), TelemetrySummary::default());
+        assert_eq!(t.summary().render(), "telemetry: off");
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let t = Telemetry::new(16);
+        let c = t.clone();
+        c.count("mac", "harq_retx", 2);
+        t.count("mac", "harq_retx", 3);
+        c.journal(JournalEvent::Marker { layer: "sim", label: "tick", at: Instant::ZERO });
+        assert_eq!(t.snapshot().counter("mac", "harq_retx"), Some(5));
+        assert_eq!(t.journal_events().len(), 1);
+        let s = t.summary();
+        assert!(s.enabled);
+        assert_eq!(s.metric_keys, 1);
+        assert_eq!(s.layers, vec!["mac".to_string()]);
+        assert_eq!(s.journal_events, 1);
+        assert!(s.render().contains("1 keys"));
+    }
+
+    #[test]
+    fn labeled_keys_are_distinct() {
+        let t = Telemetry::new(4);
+        t.count_labeled("radio", "submit", "ue", 1);
+        t.count_labeled("radio", "submit", "gnb", 2);
+        t.record_labeled("radio", "submit_us", "ue", Duration::from_micros(1));
+        assert_eq!(t.snapshot().len(), 3);
+    }
+}

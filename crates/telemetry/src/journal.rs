@@ -1,0 +1,267 @@
+//! The structured event journal: a bounded ring buffer of typed,
+//! sim-time-stamped events.
+//!
+//! This generalizes the stack's ad-hoc `PingFaultTrace` / `StageSpan`
+//! plumbing: every layer appends [`JournalEvent`]s through the
+//! [`crate::Telemetry`] handle, the ring keeps the most recent
+//! `capacity` of them (counting what it sheds), and the
+//! [`crate::perfetto`] exporter renders the surviving window as a
+//! flamegraph-style timeline.
+
+use std::collections::VecDeque;
+
+use sim::{Duration, FaultKind, Instant};
+
+/// One sim-time-stamped event. `Copy` so journaling never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JournalEvent {
+    /// A Fig-3 journey stage (one bar in the Perfetto timeline).
+    Stage {
+        /// Ping sequence number.
+        ping: u64,
+        /// `true` for the downlink half of the journey.
+        dl: bool,
+        /// Stage label (see `stack::stage_labels`).
+        label: &'static str,
+        /// Stage start.
+        start: Instant,
+        /// Stage end.
+        end: Instant,
+    },
+    /// The scheduler issued an uplink grant.
+    Grant {
+        /// Ping sequence number.
+        ping: u64,
+        /// When the grant's DCI lands at the UE.
+        at: Instant,
+        /// Granted transport-block payload bytes.
+        bytes: usize,
+    },
+    /// A scheduling-request transmission (one round of the SR cycle).
+    SrAttempt {
+        /// Ping sequence number.
+        ping: u64,
+        /// SR transmission instant.
+        at: Instant,
+        /// `true` when the PUCCH carrying it was lost.
+        lost: bool,
+    },
+    /// A HARQ round ended in NACK (retransmission follows).
+    HarqNack {
+        /// Ping sequence number.
+        ping: u64,
+        /// `true` on the downlink leg.
+        dl: bool,
+        /// 1-based retransmission round.
+        round: u32,
+        /// When the NACK was processed.
+        at: Instant,
+    },
+    /// The fault injector fired.
+    FaultInjected {
+        /// Which fault.
+        kind: FaultKind,
+        /// When it bit the packet.
+        at: Instant,
+        /// Extra latency it charged (zero for pure losses).
+        extra: Duration,
+    },
+    /// Radio-link failure declared (RRC re-establishment follows).
+    Rlf {
+        /// Ping sequence number.
+        ping: u64,
+        /// `true` when the DL leg failed.
+        dl: bool,
+        /// Declaration instant.
+        at: Instant,
+    },
+    /// An RRC re-establishment attempt completed.
+    RrcReestablished {
+        /// Ping sequence number.
+        ping: u64,
+        /// Completion instant.
+        at: Instant,
+        /// `false` when the budget ran out and the UE went to idle.
+        ok: bool,
+    },
+    /// A GTP-U path-supervision transition (probe-lost/path-down/failover/
+    /// restored — labels from `corenet::PathEventKind::label`).
+    PathEvent {
+        /// Transition label.
+        label: &'static str,
+        /// Transition instant.
+        at: Instant,
+    },
+    /// A free-form point event from any layer.
+    Marker {
+        /// Layer namespace.
+        layer: &'static str,
+        /// Event label.
+        label: &'static str,
+        /// Event instant.
+        at: Instant,
+    },
+}
+
+impl JournalEvent {
+    /// Representative timestamp (start for spans).
+    pub fn at(&self) -> Instant {
+        match *self {
+            JournalEvent::Stage { start, .. } => start,
+            JournalEvent::Grant { at, .. }
+            | JournalEvent::SrAttempt { at, .. }
+            | JournalEvent::HarqNack { at, .. }
+            | JournalEvent::FaultInjected { at, .. }
+            | JournalEvent::Rlf { at, .. }
+            | JournalEvent::RrcReestablished { at, .. }
+            | JournalEvent::PathEvent { at, .. }
+            | JournalEvent::Marker { at, .. } => at,
+        }
+    }
+
+    /// Short kind tag (metrics labels, debugging).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            JournalEvent::Stage { .. } => "stage",
+            JournalEvent::Grant { .. } => "grant",
+            JournalEvent::SrAttempt { .. } => "sr",
+            JournalEvent::HarqNack { .. } => "harq-nack",
+            JournalEvent::FaultInjected { .. } => "fault",
+            JournalEvent::Rlf { .. } => "rlf",
+            JournalEvent::RrcReestablished { .. } => "rrc-reestablish",
+            JournalEvent::PathEvent { .. } => "path",
+            JournalEvent::Marker { .. } => "marker",
+        }
+    }
+}
+
+/// Bounded ring buffer of [`JournalEvent`]s.
+///
+/// Overflow sheds the *oldest* events (a crashed run's tail is worth more
+/// than its head) and counts them, so exporters can say how much history
+/// was lost.
+#[derive(Debug, Clone)]
+pub struct EventJournal {
+    capacity: usize,
+    events: VecDeque<JournalEvent>,
+    dropped: u64,
+}
+
+impl EventJournal {
+    /// A journal holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> EventJournal {
+        let capacity = capacity.max(1);
+        EventJournal { capacity, events: VecDeque::with_capacity(capacity), dropped: 0 }
+    }
+
+    /// Appends an event, shedding the oldest when full.
+    pub fn push(&mut self, event: JournalEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &JournalEvent> {
+        self.events.iter()
+    }
+
+    /// Copies the retained window out, oldest first.
+    pub fn to_vec(&self) -> Vec<JournalEvent> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events shed to overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marker(i: u64) -> JournalEvent {
+        JournalEvent::Marker { layer: "test", label: "m", at: Instant::from_micros(i) }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_dropped() {
+        let mut j = EventJournal::new(3);
+        for i in 0..5 {
+            j.push(marker(i));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        let ts: Vec<u64> = j.events().map(|e| e.at().as_nanos() / 1_000).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_preserves_insertion_order() {
+        let mut j = EventJournal::new(100);
+        for i in (0..50).rev() {
+            j.push(marker(i)); // deliberately out of time order
+        }
+        let ts: Vec<u64> = j.events().map(|e| e.at().as_nanos() / 1_000).collect();
+        let expected: Vec<u64> = (0..50).rev().collect();
+        assert_eq!(ts, expected, "journal must preserve insertion order, not timestamp order");
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut j = EventJournal::new(0);
+        j.push(marker(1));
+        j.push(marker(2));
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.capacity(), 1);
+        assert_eq!(j.dropped(), 1);
+    }
+
+    #[test]
+    fn event_kind_names_are_distinct() {
+        let evs = [
+            JournalEvent::Stage {
+                ping: 0,
+                dl: false,
+                label: "radio",
+                start: Instant::ZERO,
+                end: Instant::ZERO,
+            },
+            JournalEvent::Grant { ping: 0, at: Instant::ZERO, bytes: 32 },
+            JournalEvent::SrAttempt { ping: 0, at: Instant::ZERO, lost: false },
+            JournalEvent::HarqNack { ping: 0, dl: false, round: 1, at: Instant::ZERO },
+            JournalEvent::FaultInjected {
+                kind: FaultKind::SrLoss,
+                at: Instant::ZERO,
+                extra: Duration::ZERO,
+            },
+            JournalEvent::Rlf { ping: 0, dl: true, at: Instant::ZERO },
+            JournalEvent::RrcReestablished { ping: 0, at: Instant::ZERO, ok: true },
+            JournalEvent::PathEvent { label: "failover", at: Instant::ZERO },
+            JournalEvent::Marker { layer: "sim", label: "tick", at: Instant::ZERO },
+        ];
+        let mut names: Vec<&str> = evs.iter().map(|e| e.kind_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), evs.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! Cross-layer telemetry backbone for the URLLC workspace.
+//!
+//! The paper's core move is *attribution* — splitting the 0.5 ms budget
+//! into protocol, processing and radio sources (Fig 2/3). This crate
+//! supplies the machinery to do that attribution continuously rather
+//! than via hand-picked stage spans:
+//!
+//! * [`MetricsRegistry`] — counters, gauges and log-linear histograms
+//!   keyed by `(layer, name, label)`, snapshotable to text/CSV/JSON
+//!   ([`MetricsSnapshot`]).
+//! * [`EventJournal`] — a bounded ring buffer of typed, sim-time-stamped
+//!   [`JournalEvent`]s (grants, SR cycles, HARQ NACKs, fault injections,
+//!   RLF/recovery transitions, path failovers).
+//! * [`perfetto`] — a Chrome trace-event / Perfetto JSON exporter that
+//!   renders the journal as a flamegraph-style timeline.
+//! * [`Telemetry`] — the cheap cloneable handle threaded through the
+//!   stack; disabled by default, in which case every call is a no-op.
+//!
+//! The crate sits next to `sim` in the dependency order so every layer
+//! crate (phy, radio, channel, ran, corenet, stack, core, bench) can
+//! record into it. Recording consumes no RNG draws and no simulated
+//! time; telemetry on/off leaves simulation results bit-identical.
+
+#![warn(missing_docs)]
+
+pub mod handle;
+pub mod journal;
+pub mod perfetto;
+pub mod registry;
+
+pub use handle::{Telemetry, TelemetrySummary};
+pub use journal::{EventJournal, JournalEvent};
+pub use registry::{
+    HistogramSummary, LogLinearHistogram, MetricKey, MetricRow, MetricValue, MetricsRegistry,
+    MetricsSnapshot, SUB_BUCKETS,
+};

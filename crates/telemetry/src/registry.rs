@@ -1,0 +1,517 @@
+//! The metrics registry: counters, gauges and log-linear histograms keyed
+//! by `(layer, name, label)`.
+//!
+//! Keys are static strings so that recording on the hot path allocates
+//! nothing; `BTreeMap` storage keeps every snapshot deterministically
+//! ordered, which the CSV/JSON exporters and the golden-file tests rely
+//! on. Histograms store nanosecond values in log-linear buckets
+//! (HdrHistogram-style: [`SUB_BUCKETS`] linear sub-buckets per power of
+//! two), bounding the relative quantile error at `1/SUB_BUCKETS` while
+//! keeping memory constant regardless of sample count.
+
+use std::collections::BTreeMap;
+
+use sim::Duration;
+
+/// Linear sub-buckets per power of two (relative resolution 1/16 ≈ 6.25%).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+const SUB_BUCKET_BITS: u32 = 4;
+
+/// A `(layer, name, label)` metric key, e.g. `mac/harq_retx` or
+/// `radio/submit_us{ue}`. The label discriminates instances of the same
+/// metric (direction, node, link) and is empty for singleton metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Layer namespace: `sdap`, `pdcp`, `rlc`, `mac`, `phy`, `radio`,
+    /// `channel`, `rrc`, `corenet`, `audit`, ...
+    pub layer: &'static str,
+    /// Metric name within the layer.
+    pub name: &'static str,
+    /// Optional instance discriminator (empty when unused).
+    pub label: &'static str,
+}
+
+impl MetricKey {
+    /// An unlabeled key.
+    pub fn new(layer: &'static str, name: &'static str) -> MetricKey {
+        MetricKey { layer, name, label: "" }
+    }
+
+    /// A labeled key.
+    pub fn labeled(layer: &'static str, name: &'static str, label: &'static str) -> MetricKey {
+        MetricKey { layer, name, label }
+    }
+
+    /// Canonical text form: `layer/name` or `layer/name{label}`.
+    pub fn render(&self) -> String {
+        if self.label.is_empty() {
+            format!("{}/{}", self.layer, self.name)
+        } else {
+            format!("{}/{}{{{}}}", self.layer, self.name, self.label)
+        }
+    }
+}
+
+/// A log-linear histogram over `u64` values (nanoseconds by convention).
+///
+/// Values below [`SUB_BUCKETS`]² land in exact unit-width buckets; above
+/// that, each power of two is split into [`SUB_BUCKETS`] linear
+/// sub-buckets, so any recorded value is reported with at most
+/// `1/SUB_BUCKETS` relative error. The bucket vector grows on demand and
+/// tops out at ~1000 entries for the full `u64` range.
+#[derive(Debug, Clone, Default)]
+pub struct LogLinearHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LogLinearHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogLinearHistogram {
+        LogLinearHistogram { buckets: Vec::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Bucket index for `value`.
+    pub fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as u64;
+        let octave = msb - SUB_BUCKET_BITS as u64 + 1;
+        let sub = (value >> (msb - SUB_BUCKET_BITS as u64)) & (SUB_BUCKETS - 1);
+        (octave * SUB_BUCKETS + sub) as usize
+    }
+
+    /// Half-open range `[lo, hi)` of values mapping to bucket `index`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        let index = index as u64;
+        if index < SUB_BUCKETS {
+            return (index, index + 1);
+        }
+        let octave = index / SUB_BUCKETS;
+        let sub = index % SUB_BUCKETS;
+        let msb = octave + SUB_BUCKET_BITS as u64 - 1;
+        let width = 1u64 << (msb - SUB_BUCKET_BITS as u64);
+        let lo = (SUB_BUCKETS + sub) << (msb - SUB_BUCKET_BITS as u64);
+        (lo, lo.saturating_add(width))
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::index_of(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank `q`-quantile (`q` in `[0, 1]`), reported as the lower
+    /// bound of the containing bucket — conservative, and exact for values
+    /// below [`SUB_BUCKETS`]. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bounds(idx).0.max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Point-in-time value of one metric, as exported in snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-write-wins instantaneous value.
+    Gauge(f64),
+    /// Histogram summary (values recorded in ns, reported in µs).
+    Histogram(HistogramSummary),
+}
+
+/// Quantile summary of a [`LogLinearHistogram`], in microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Mean, µs.
+    pub mean_us: f64,
+    /// Median, µs.
+    pub p50_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+    /// 99.9th percentile, µs.
+    pub p999_us: f64,
+    /// Maximum, µs.
+    pub max_us: f64,
+}
+
+impl HistogramSummary {
+    fn from(h: &LogLinearHistogram) -> HistogramSummary {
+        HistogramSummary {
+            count: h.count(),
+            mean_us: h.mean() / 1_000.0,
+            p50_us: h.quantile(0.50) as f64 / 1_000.0,
+            p99_us: h.quantile(0.99) as f64 / 1_000.0,
+            p999_us: h.quantile(0.999) as f64 / 1_000.0,
+            max_us: h.max() as f64 / 1_000.0,
+        }
+    }
+}
+
+/// One exported `(key, value)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// The metric's key.
+    pub key: MetricKey,
+    /// Its value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// The registry all layers record into (behind the [`crate::Telemetry`]
+/// handle).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, LogLinearHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the counter at `key`.
+    pub fn count(&mut self, key: MetricKey, n: u64) {
+        *self.counters.entry(key).or_insert(0) += n;
+    }
+
+    /// Sets the gauge at `key`.
+    pub fn gauge(&mut self, key: MetricKey, value: f64) {
+        self.gauges.insert(key, value);
+    }
+
+    /// Records `ns` into the histogram at `key`.
+    pub fn record_ns(&mut self, key: MetricKey, ns: u64) {
+        self.histograms.entry(key).or_default().record(ns);
+    }
+
+    /// Records a duration into the histogram at `key`.
+    pub fn record(&mut self, key: MetricKey, d: Duration) {
+        self.record_ns(key, d.as_nanos());
+    }
+
+    /// Number of distinct metric keys.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A deterministic, key-ordered snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut rows: Vec<MetricRow> = Vec::with_capacity(self.len());
+        rows.extend(
+            self.counters
+                .iter()
+                .map(|(&key, &v)| MetricRow { key, value: MetricValue::Counter(v) }),
+        );
+        rows.extend(
+            self.gauges.iter().map(|(&key, &v)| MetricRow { key, value: MetricValue::Gauge(v) }),
+        );
+        rows.extend(self.histograms.iter().map(|(&key, h)| MetricRow {
+            key,
+            value: MetricValue::Histogram(HistogramSummary::from(h)),
+        }));
+        rows.sort_by_key(|a| a.key);
+        MetricsSnapshot { rows }
+    }
+}
+
+/// An ordered, self-describing export of the registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// All rows, sorted by key.
+    pub rows: Vec<MetricRow>,
+}
+
+fn fmt_us(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+impl MetricsSnapshot {
+    /// Number of metric keys.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no metrics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Distinct layer namespaces, sorted.
+    pub fn layers(&self) -> Vec<&'static str> {
+        let mut layers: Vec<&'static str> = self.rows.iter().map(|r| r.key.layer).collect();
+        layers.sort_unstable();
+        layers.dedup();
+        layers
+    }
+
+    /// Looks up the value of `layer/name` (unlabeled).
+    pub fn get(&self, layer: &str, name: &str) -> Option<&MetricValue> {
+        self.rows
+            .iter()
+            .find(|r| r.key.layer == layer && r.key.name == name && r.key.label.is_empty())
+            .map(|r| &r.value)
+    }
+
+    /// Counter value of `layer/name`, if it is a counter.
+    pub fn counter(&self, layer: &str, name: &str) -> Option<u64> {
+        match self.get(layer, name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Aligned plain-text table (the `repro metrics` output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self.rows.iter().map(|r| r.key.render().len()).max().unwrap_or(0).max(24);
+        for row in &self.rows {
+            let key = row.key.render();
+            match &row.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{key:<width$}  counter    {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{key:<width$}  gauge      {v:.3}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{key:<width$}  histogram  n={} mean={}us p50={}us p99={}us max={}us\n",
+                        h.count,
+                        fmt_us(h.mean_us),
+                        fmt_us(h.p50_us),
+                        fmt_us(h.p99_us),
+                        fmt_us(h.max_us),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// CSV export (`key,kind,count,value,p50_us,p99_us,p999_us,max_us`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("key,kind,count,value,p50_us,p99_us,p999_us,max_us\n");
+        for row in &self.rows {
+            let key = row.key.render();
+            match &row.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{key},counter,{v},{v},,,,\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{key},gauge,1,{v:.6},,,,\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{key},histogram,{},{},{},{},{},{}\n",
+                        h.count,
+                        fmt_us(h.mean_us),
+                        fmt_us(h.p50_us),
+                        fmt_us(h.p99_us),
+                        fmt_us(h.p999_us),
+                        fmt_us(h.max_us),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON export (hand-rolled; the workspace has no JSON serializer).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let key = row.key.render();
+            let body = match &row.value {
+                MetricValue::Counter(v) => {
+                    format!("{{\"key\":\"{key}\",\"kind\":\"counter\",\"value\":{v}}}")
+                }
+                MetricValue::Gauge(v) => {
+                    format!("{{\"key\":\"{key}\",\"kind\":\"gauge\",\"value\":{v:.6}}}")
+                }
+                MetricValue::Histogram(h) => format!(
+                    "{{\"key\":\"{key}\",\"kind\":\"histogram\",\"count\":{},\
+                     \"mean_us\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"max_us\":{}}}",
+                    h.count,
+                    fmt_us(h.mean_us),
+                    fmt_us(h.p50_us),
+                    fmt_us(h.p99_us),
+                    fmt_us(h.p999_us),
+                    fmt_us(h.max_us),
+                ),
+            };
+            out.push_str("  ");
+            out.push_str(&body);
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn key_render_forms() {
+        assert_eq!(MetricKey::new("mac", "harq_retx").render(), "mac/harq_retx");
+        assert_eq!(MetricKey::labeled("radio", "submit_us", "ue").render(), "radio/submit_us{ue}");
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB_BUCKETS {
+            let (lo, hi) = LogLinearHistogram::bucket_bounds(LogLinearHistogram::index_of(v));
+            assert_eq!((lo, hi), (v, v + 1));
+        }
+    }
+
+    #[test]
+    fn bucket_indices_are_contiguous_across_octave_boundary() {
+        assert_eq!(
+            LogLinearHistogram::index_of(SUB_BUCKETS - 1) + 1,
+            LogLinearHistogram::index_of(SUB_BUCKETS)
+        );
+    }
+
+    #[test]
+    fn quantiles_track_recorded_values() {
+        let mut h = LogLinearHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1_000); // 1..=1000 µs in ns
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.50);
+        // Log-linear resolution: within 1/16 of the true 500_000 ns.
+        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 <= 1.0 / 16.0 + 1e-9, "p50={p50}");
+        let p100 = h.quantile(1.0);
+        assert!(p100 <= 1_000_000 && p100 as f64 >= 1_000_000.0 * (1.0 - 1.0 / 16.0));
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.min(), 1_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = LogLinearHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn registry_snapshot_is_ordered_and_complete() {
+        let mut reg = MetricsRegistry::new();
+        reg.count(MetricKey::new("mac", "harq_retx"), 2);
+        reg.count(MetricKey::new("mac", "harq_retx"), 1);
+        reg.gauge(MetricKey::new("channel", "loss_rate"), 0.01);
+        reg.record(MetricKey::new("radio", "submit_us"), Duration::from_micros(7));
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.layers(), vec!["channel", "mac", "radio"]);
+        assert_eq!(snap.counter("mac", "harq_retx"), Some(3));
+        let keys: Vec<String> = snap.rows.iter().map(|r| r.key.render()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert!(snap.render().contains("mac/harq_retx"));
+        assert!(snap.to_csv().starts_with("key,kind,"));
+        assert!(snap.to_json().contains("\"kind\":\"histogram\""));
+    }
+
+    proptest! {
+        #[test]
+        fn bucket_bounds_contain_value(v in 0u64..u64::MAX / 2) {
+            let idx = LogLinearHistogram::index_of(v);
+            let (lo, hi) = LogLinearHistogram::bucket_bounds(idx);
+            prop_assert!(lo <= v && v < hi, "v={} not in [{}, {})", v, lo, hi);
+        }
+
+        #[test]
+        fn bucket_width_bounds_relative_error(v in SUB_BUCKETS..u64::MAX / 2) {
+            let (lo, hi) = LogLinearHistogram::bucket_bounds(LogLinearHistogram::index_of(v));
+            // Width of the containing bucket never exceeds lo / SUB_BUCKETS
+            // (6.25% relative resolution).
+            prop_assert!(hi - lo <= lo / SUB_BUCKETS + 1);
+        }
+
+        #[test]
+        fn bucket_index_is_monotone(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+            let (lo, hi) = (a.min(b), a.max(b));
+            prop_assert!(LogLinearHistogram::index_of(lo) <= LogLinearHistogram::index_of(hi));
+        }
+
+        #[test]
+        fn quantile_within_recorded_range(vs in prop::collection::vec(0u64..10_000_000, 1..200), q in 0.0f64..1.0) {
+            let mut h = LogLinearHistogram::new();
+            for &v in &vs {
+                h.record(v);
+            }
+            let est = h.quantile(q);
+            let lo = *vs.iter().min().unwrap();
+            let hi = *vs.iter().max().unwrap();
+            prop_assert!(est >= lo && est <= hi, "quantile {} outside [{}, {}]", est, lo, hi);
+        }
+    }
+}
