@@ -4,29 +4,39 @@
 //! repro table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fr2|reliability|design|all [--pings N]
 //! repro metrics [--pings N]          # cross-layer telemetry registry dump
 //! repro trace [--perfetto out.json]  # Perfetto/Chrome trace of the journey
+//! repro <cmd> --jobs N [--compare]   # worker count; --compare also times a
+//!                                    # single-worker reference pass
 //! ```
 //!
 //! Each subcommand prints the regenerated artifact (ASCII) and writes a
 //! CSV/JSON copy under `results/`, plus a machine-readable
-//! `BENCH_repro.json` (per-figure latency quantiles and wall times).
-//! Experiment↔module mapping is in DESIGN.md §5; paper-vs-measured numbers
-//! are recorded in EXPERIMENTS.md.
+//! `BENCH_repro.json` (per-figure latency quantiles and wall times, with
+//! the worker count used). Simulation sweeps run on the deterministic
+//! work-sharded engine (`sim::parallel`): every artifact is byte-identical
+//! regardless of `--jobs`. Experiment↔module mapping is in DESIGN.md §5;
+//! paper-vs-measured numbers are recorded in EXPERIMENTS.md.
 
 use std::env;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use radio::{InterfaceKind, RadioHead, RadioHeadConfig};
 use ran::sched::AccessMode;
 use sim::{Duration, SimRng};
 use stack::{PingExperiment, StackConfig};
 use urllc_bench::report::{
-    ascii_histogram, ascii_series, bench_json, bench_log, bench_wall, summarize_chaos_recovery,
-    to_csv, write_artifact,
+    ascii_histogram, ascii_series, bench_json, bench_log, bench_records_len, bench_truncate,
+    bench_wall, summarize_chaos_recovery, to_csv, write_artifact,
 };
 use urllc_core::feasibility::{feasibility_table, paper_table1};
 use urllc_core::model::{ConfigUnderTest, ProcessingBudget};
 use urllc_core::reliability::{margin_sweep, min_margin_for};
 use urllc_core::worst_case::{worst_case, Direction};
 use urllc_core::DesignSearch;
+
+/// Worker count the run was asked for (recorded in `BENCH_repro.json`).
+static JOBS: AtomicUsize = AtomicUsize::new(1);
+/// Whether to also time a single-worker reference pass per subcommand.
+static COMPARE: AtomicBool = AtomicBool::new(false);
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -40,6 +50,17 @@ fn main() {
 
     let perfetto_out =
         args.iter().position(|a| a == "--perfetto").and_then(|i| args.get(i + 1)).cloned();
+
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or_else(sim::parallel::jobs);
+    sim::parallel::set_jobs(jobs);
+    JOBS.store(jobs, Ordering::Relaxed);
+    COMPARE.store(args.iter().any(|a| a == "--compare"), Ordering::Relaxed);
 
     match cmd {
         "table1" => timed("table1", table1),
@@ -62,7 +83,7 @@ fn main() {
         "chaos" => timed("chaos", || chaos(pings)),
         "recovery" => timed("recovery", || recovery(pings)),
         "metrics" => timed("metrics", || metrics(pings)),
-        "trace" => timed("trace", || trace(pings, perfetto_out)),
+        "trace" => timed("trace", || trace(pings, perfetto_out.clone())),
         "all" => {
             timed("table1", table1);
             timed("table2", || table2(pings));
@@ -84,22 +105,39 @@ fn main() {
             timed("chaos", || chaos(pings));
             timed("recovery", || recovery(pings));
             timed("metrics", || metrics(pings));
-            timed("trace", || trace(pings, perfetto_out));
+            timed("trace", || trace(pings, perfetto_out.clone()));
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|harq|rach|sixg|coexist|chaos|recovery|metrics|trace|all [--pings N] [--perfetto out.json]");
+            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|harq|rach|sixg|coexist|chaos|recovery|metrics|trace|all [--pings N] [--perfetto out.json] [--jobs N] [--compare]");
             std::process::exit(2);
         }
     }
     save("BENCH_repro.json", &bench_json());
 }
 
-/// Runs one subcommand, logging its wall time for `BENCH_repro.json`.
-fn timed(name: &str, f: impl FnOnce()) {
+/// Runs one subcommand, logging its wall time (and worker count) for
+/// `BENCH_repro.json`. With `--compare`, the subcommand first runs once at
+/// a single worker as the timing reference; its duplicate distribution
+/// records are dropped, and — by the determinism contract — its artifacts
+/// are byte-identical to the parallel pass that overwrites them.
+fn timed(name: &str, f: impl Fn()) {
+    let jobs = JOBS.load(Ordering::Relaxed);
+    let seq_ms = if COMPARE.load(Ordering::Relaxed) && jobs > 1 {
+        let mark = bench_records_len();
+        sim::parallel::set_jobs(1);
+        let t = std::time::Instant::now();
+        f();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        sim::parallel::set_jobs(jobs);
+        bench_truncate(mark);
+        Some(ms)
+    } else {
+        None
+    };
     let t = std::time::Instant::now();
     f();
-    bench_wall(name, t.elapsed().as_secs_f64() * 1e3);
+    bench_wall(name, t.elapsed().as_secs_f64() * 1e3, jobs, seq_ms);
 }
 
 fn banner(s: &str) {
@@ -132,8 +170,7 @@ fn table1() {
 fn table2(pings: u64) {
     banner("Table 2 — gNB layer processing and queuing time");
     let cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(42);
-    let mut exp = PingExperiment::new(cfg);
-    let mut res = exp.run(pings);
+    let mut res = stack::run_parallel(&cfg, pings);
     bench_log("table2", "rtt", &mut res.rtt);
     let paper = [
         ("SDAP", 4.65, 6.71),
@@ -252,25 +289,35 @@ fn fig4() {
 /// Fig 5: sample-submission latency vs number of samples, USB2 vs USB3.
 fn fig5() {
     banner("Fig 5 — radio sample-submission latency (OS + hardware)");
-    let mut series = Vec::new();
-    let mut rows = Vec::new();
-    for kind in [InterfaceKind::Usb2, InterfaceKind::Usb3] {
+    // One shard per (interface, sample-count) point, each with its own head
+    // and an RNG stream keyed by the point — the sweep is bit-identical at
+    // any worker count.
+    let points: Vec<(InterfaceKind, u64)> = [InterfaceKind::Usb2, InterfaceKind::Usb3]
+        .into_iter()
+        .flat_map(|kind| (2_000..=20_000).step_by(1_000).map(move |n| (kind, n as u64)))
+        .collect();
+    let draws = sim::parallel::run_shards(points.len(), |i| {
+        let (kind, n) = points[i];
         let mut head = RadioHead::new(RadioHeadConfig {
             interface: radio::FronthaulInterface::of_kind(kind),
             ..RadioHeadConfig::usrp_b210(kind == InterfaceKind::Usb3)
         });
-        let mut rng = SimRng::from_seed(5).stream(kind.name());
-        let mut pts = Vec::new();
-        for n in (2_000..=20_000).step_by(1_000) {
-            // A handful of draws per point: the paper plots raw
-            // per-submission measurements including spikes.
-            for _ in 0..5 {
-                let lat = head.submit_latency(n as u64, &mut rng).as_micros_f64();
-                pts.push((n as f64, lat));
-                rows.push(vec![kind.name().into(), n.to_string(), format!("{lat:.1}")]);
-            }
+        let mut rng = SimRng::from_seed(5).stream(kind.name()).stream_indexed("samples", n);
+        // A handful of draws per point: the paper plots raw per-submission
+        // measurements including spikes.
+        (0..5).map(|_| head.submit_latency(n, &mut rng).as_micros_f64()).collect::<Vec<f64>>()
+    });
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = Vec::new();
+    let mut rows = Vec::new();
+    for ((kind, n), lats) in points.iter().zip(&draws) {
+        if series.last().map(|(name, _)| *name) != Some(kind.name()) {
+            series.push((kind.name(), Vec::new()));
         }
-        series.push((kind.name(), pts));
+        let pts = &mut series.last_mut().expect("series started").1;
+        for &lat in lats {
+            pts.push((*n as f64, lat));
+            rows.push(vec![kind.name().into(), n.to_string(), format!("{lat:.1}")]);
+        }
     }
     print!(
         "{}",
@@ -293,8 +340,7 @@ fn fig6(pings: u64) {
         [("(a) grant-based", AccessMode::GrantBased), ("(b) grant-free", AccessMode::GrantFree)]
     {
         let cfg = StackConfig::testbed_dddu(access, true).with_seed(6);
-        let mut exp = PingExperiment::new(cfg);
-        let mut res = exp.run(pings);
+        let mut res = stack::run_parallel(&cfg, pings);
         for (dirname, rec) in [("Downlink", &res.dl), ("Uplink", &res.ul)] {
             let h = rec.histogram_ms(0.0, 8.0, 40);
             let pairs: Vec<(f64, f64)> = h.probabilities().collect();
@@ -395,9 +441,13 @@ fn scale() {
         "{:>6} {:>16} {:>12} {:>16} {:>12} {:>10}",
         "UEs", "GF mean [ms]", "GF p99", "GB mean [ms]", "GB p99", "GF waste"
     );
-    for &n in &populations {
-        let gf = &mut stack::scalability_sweep(AccessMode::GrantFree, &[n], 11)[0];
-        let gb = &mut stack::scalability_sweep(AccessMode::GrantBased, &[n], 11)[0];
+    // One sweep call per access mode: the sweep itself fans the population
+    // points across the worker pool.
+    let mut gf_all = stack::scalability_sweep(AccessMode::GrantFree, &populations, 11);
+    let mut gb_all = stack::scalability_sweep(AccessMode::GrantBased, &populations, 11);
+    for (i, &n) in populations.iter().enumerate() {
+        let gf = &mut gf_all[i];
+        let gb = &mut gb_all[i];
         let gf_s = gf.ul.summary();
         let gb_s = gb.ul.summary();
         println!(
@@ -440,8 +490,7 @@ fn harq(pings: u64) {
     ] {
         let mut cfg = StackConfig::testbed_dddu(AccessMode::GrantFree, true).with_seed(13);
         cfg.link = link;
-        let mut exp = PingExperiment::new(cfg);
-        let mut res = exp.run(pings);
+        let mut res = stack::run_parallel(&cfg, pings);
         let s = res.ul_summary();
         println!(
             "{name:<12} UL mean {:>7.2} ms  p99 {:>7.2} ms  max {:>7.2} ms  harq retx {:>5}  failures {:>3}",
@@ -574,8 +623,7 @@ fn chaos(pings: u64) {
         for &intensity in &intensities {
             let plan = sim::FaultPlan::chaos(intensity);
             let cfg = base_cfg.clone().with_faults(plan.clone());
-            let mut exp = PingExperiment::new(cfg.clone());
-            let mut res = exp.run(n);
+            let mut res = stack::run_parallel(&cfg, n);
             let att = res.attribution;
             let miss = att.miss_probability();
             if intensity == 0.0 {
@@ -583,8 +631,7 @@ fn chaos(pings: u64) {
                 if m == 2 {
                     // Identity check against a run of the untouched config —
                     // before fraction_within() below sorts the recorder.
-                    let mut plain = PingExperiment::new(base_cfg.clone());
-                    let plain_res = plain.run(n);
+                    let plain_res = stack::run_parallel(&base_cfg, n);
                     let identical = plain_res.rtt.samples_us() == res.rtt.samples_us()
                         && plain_res.ul.samples_us() == res.ul.samples_us()
                         && plain_res.dl.samples_us() == res.dl.samples_us()
@@ -701,9 +748,7 @@ fn recovery(pings: u64) {
         loss_bad: 1.0,
     });
     let model = urllc_core::RecoveryLatencyModel::from_config(&cfg);
-    let mut exp = PingExperiment::new(cfg);
-    exp.keep_traces(n as usize);
-    let mut res = exp.run(n);
+    let mut res = stack::run_parallel_opts(&cfg, n, n as usize, None);
 
     if let Some(ev) = res.rlf.iter().find(|ev| ev.recovered) {
         println!(
@@ -744,7 +789,7 @@ fn recovery(pings: u64) {
     // (b) N3 path outages: supervision detects, fails over, restores.
     let mut path_cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(10);
     path_cfg.faults.path_failure = Some(sim::PathFailureConfig { enter: 0.15, stay: 0.6 });
-    let path_res = PingExperiment::new(path_cfg).run(n);
+    let path_res = stack::run_parallel(&path_cfg, n);
     let restored = path_res
         .path_events
         .iter()
@@ -794,9 +839,7 @@ fn metrics(pings: u64) {
         .with_seed(7)
         .with_faults(sim::FaultPlan::chaos(0.2));
     let tel = telemetry::Telemetry::new(4096);
-    let mut exp = PingExperiment::new_instrumented(cfg.clone(), tel.clone());
-    exp.keep_traces(n as usize);
-    let mut res = exp.run(n);
+    let mut res = stack::run_parallel_opts(&cfg, n, n as usize, Some(&tel));
     bench_log("metrics", "rtt", &mut res.rtt);
 
     let audits = urllc_core::audit_traces(&res.traces, &cfg, &tel);
@@ -828,8 +871,7 @@ fn trace(pings: u64, out: Option<String>) {
         .with_seed(7)
         .with_faults(sim::FaultPlan::chaos(0.2));
     let tel = telemetry::Telemetry::new(8192);
-    let mut exp = PingExperiment::new_instrumented(cfg, tel.clone());
-    let mut res = exp.run(n);
+    let mut res = stack::run_parallel_opts(&cfg, n, 3, Some(&tel));
     bench_log("trace", "rtt", &mut res.rtt);
     let events = tel.journal_events();
     println!(

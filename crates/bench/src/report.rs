@@ -129,8 +129,13 @@ pub struct BenchRecord {
 pub struct BenchWall {
     /// Subcommand name.
     pub figure: String,
-    /// Wall time, ms.
+    /// Wall time, ms, at `jobs` workers.
     pub wall_ms: f64,
+    /// Worker count the subcommand ran with.
+    pub jobs: usize,
+    /// Wall time of the single-worker reference pass, ms (present only
+    /// when `repro` ran with `--compare`).
+    pub seq_wall_ms: Option<f64>,
 }
 
 static BENCH_RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
@@ -152,17 +157,32 @@ pub fn bench_log(figure: &str, metric: &str, rec: &mut LatencyRecorder) {
     BENCH_RECORDS.lock().expect("bench log poisoned").push(record);
 }
 
-/// Logs the wall time of one subcommand.
-pub fn bench_wall(figure: &str, wall_ms: f64) {
-    BENCH_WALL
-        .lock()
-        .expect("bench log poisoned")
-        .push(BenchWall { figure: figure.to_string(), wall_ms });
+/// Logs the wall time of one subcommand at `jobs` workers;
+/// `seq_wall_ms` carries the single-worker reference time when the
+/// subcommand was timed twice (`repro --compare`).
+pub fn bench_wall(figure: &str, wall_ms: f64, jobs: usize, seq_wall_ms: Option<f64>) {
+    BENCH_WALL.lock().expect("bench log poisoned").push(BenchWall {
+        figure: figure.to_string(),
+        wall_ms,
+        jobs,
+        seq_wall_ms,
+    });
 }
 
 /// Records logged so far (cloned; the log keeps accumulating).
 pub fn bench_records() -> Vec<BenchRecord> {
     BENCH_RECORDS.lock().expect("bench log poisoned").clone()
+}
+
+/// Number of distribution records logged so far.
+pub fn bench_records_len() -> usize {
+    BENCH_RECORDS.lock().expect("bench log poisoned").len()
+}
+
+/// Drops distribution records past `len` — used by `repro --compare` to
+/// discard the duplicates logged by the single-worker reference pass.
+pub fn bench_truncate(len: usize) {
+    BENCH_RECORDS.lock().expect("bench log poisoned").truncate(len);
 }
 
 /// Clears both logs (tests).
@@ -195,11 +215,16 @@ pub fn bench_json() -> String {
     for (i, w) in walls.iter().enumerate() {
         let _ = write!(
             out,
-            "{}\n    {{\"figure\": \"{}\", \"wall_ms\": {:.3}}}",
+            "{}\n    {{\"figure\": \"{}\", \"wall_ms\": {:.3}, \"jobs\": {}",
             if i == 0 { "" } else { "," },
             w.figure,
             w.wall_ms,
+            w.jobs,
         );
+        if let Some(seq) = w.seq_wall_ms {
+            let _ = write!(out, ", \"seq_wall_ms\": {seq:.3}");
+        }
+        out.push('}');
     }
     out.push_str("\n  ]\n}\n");
     out
@@ -277,9 +302,11 @@ mod tests {
             filled.record(sim::Duration::from_micros(us));
         }
         bench_log("figX", "ul", &mut filled);
-        bench_wall("figX", 12.5);
+        bench_wall("figX", 12.5, 2, Some(20.25));
+        bench_wall("figY", 5.0, 1, None);
         let records = bench_records();
         assert_eq!(records.len(), 2);
+        assert_eq!(bench_records_len(), 2);
         assert_eq!(records[0].count, 0);
         assert_eq!(records[0].p99_us, 0.0);
         assert_eq!(records[1].count, 3);
@@ -287,8 +314,12 @@ mod tests {
         let json = bench_json();
         assert!(json.contains("\"distributions\""));
         assert!(json.contains("\"figure\": \"figX\""));
-        assert!(json.contains("\"wall_ms\": 12.500"));
+        assert!(json.contains("\"wall_ms\": 12.500, \"jobs\": 2, \"seq_wall_ms\": 20.250"));
+        assert!(json.contains("\"wall_ms\": 5.000, \"jobs\": 1}"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // --compare truncation: the reference pass's duplicates drop.
+        bench_truncate(1);
+        assert_eq!(bench_records_len(), 1);
         bench_reset();
         assert!(bench_records().is_empty());
     }

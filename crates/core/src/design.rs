@@ -131,58 +131,61 @@ pub struct DesignSearch {
 impl DesignSearch {
     /// Enumerates and evaluates the whole space (5 patterns × 2 access ×
     /// 3 radios × 2 kernels = 60 points) with processing at the Table 2
-    /// gNB means.
+    /// gNB means. The cross product is flattened and evaluated in
+    /// parallel; each point is a pure function of its coordinates, so the
+    /// search is identical regardless of worker count.
     pub fn run() -> DesignSearch {
-        let mut points = Vec::new();
+        let mut coords = Vec::new();
         for (pattern, cfg) in ConfigUnderTest::table1_columns() {
             for grant_free in [true, false] {
                 for radio in RadioPlatform::ALL {
                     for kernel in Kernel::ALL {
-                        let budget = ProcessingBudget {
-                            // Lean software stack: Table 2's processing
-                            // means (µs-scale, §7: "low processing time").
-                            ue_tx_prep: Duration::from_micros(20),
-                            sr_decode: Duration::from_micros(97),
-                            grant_decode: Duration::from_micros(100),
-                            gnb_rx: Duration::from_micros(114),
-                            gnb_tx_prep: Duration::from_micros(17),
-                            ue_rx: Duration::from_micros(100),
-                            radio: radio.radio_latency() + kernel.jitter_margin(),
-                        };
-                        let ul_dir = if grant_free {
-                            Direction::UplinkGrantFree
-                        } else {
-                            Direction::UplinkGrantBased
-                        };
-                        let zero = ProcessingBudget::zero();
-                        let worst_ul = worst_case(&cfg, ul_dir, &budget).latency;
-                        let worst_dl = worst_case(&cfg, Direction::Downlink, &budget).latency;
-                        let proto_ul = worst_case(&cfg, ul_dir, &zero).latency;
-                        let proto_dl = worst_case(&cfg, Direction::Downlink, &zero).latency;
-                        // §5 (b): per-hop radio latency plus the heaviest
-                        // per-packet processing must fit within one slot.
-                        let overhead = budget.radio + budget.gnb_rx + budget.gnb_tx_prep;
-                        let feasible = proto_ul <= URLLC_DEADLINE
-                            && proto_dl <= URLLC_DEADLINE
-                            && overhead < cfg.slot_duration();
-                        points.push(DesignPoint {
-                            pattern,
-                            grant_free,
-                            radio,
-                            kernel,
-                            verdict: DesignVerdict {
-                                worst_ul,
-                                worst_dl,
-                                proto_ul,
-                                proto_dl,
-                                overhead,
-                                feasible,
-                            },
-                        });
+                        coords.push((pattern, cfg.clone(), grant_free, radio, kernel));
                     }
                 }
             }
         }
+        let points = sim::parallel::run_shards(coords.len(), |i| {
+            let (pattern, ref cfg, grant_free, radio, kernel) = coords[i];
+            let budget = ProcessingBudget {
+                // Lean software stack: Table 2's processing means
+                // (µs-scale, §7: "low processing time").
+                ue_tx_prep: Duration::from_micros(20),
+                sr_decode: Duration::from_micros(97),
+                grant_decode: Duration::from_micros(100),
+                gnb_rx: Duration::from_micros(114),
+                gnb_tx_prep: Duration::from_micros(17),
+                ue_rx: Duration::from_micros(100),
+                radio: radio.radio_latency() + kernel.jitter_margin(),
+            };
+            let ul_dir =
+                if grant_free { Direction::UplinkGrantFree } else { Direction::UplinkGrantBased };
+            let zero = ProcessingBudget::zero();
+            let worst_ul = worst_case(cfg, ul_dir, &budget).latency;
+            let worst_dl = worst_case(cfg, Direction::Downlink, &budget).latency;
+            let proto_ul = worst_case(cfg, ul_dir, &zero).latency;
+            let proto_dl = worst_case(cfg, Direction::Downlink, &zero).latency;
+            // §5 (b): per-hop radio latency plus the heaviest per-packet
+            // processing must fit within one slot.
+            let overhead = budget.radio + budget.gnb_rx + budget.gnb_tx_prep;
+            let feasible = proto_ul <= URLLC_DEADLINE
+                && proto_dl <= URLLC_DEADLINE
+                && overhead < cfg.slot_duration();
+            DesignPoint {
+                pattern,
+                grant_free,
+                radio,
+                kernel,
+                verdict: DesignVerdict {
+                    worst_ul,
+                    worst_dl,
+                    proto_ul,
+                    proto_dl,
+                    overhead,
+                    feasible,
+                },
+            }
+        });
         DesignSearch { points }
     }
 

@@ -40,10 +40,12 @@ pub struct FormatVerdict {
 }
 
 /// Surveys every implemented slot format, repeated each slot at µ2.
+/// Formats are evaluated in parallel; each verdict is a pure function of
+/// its format, so the survey is identical regardless of worker count.
 pub fn format_survey(budget: &ProcessingBudget) -> Vec<FormatVerdict> {
-    SlotFormat::TABLE
-        .iter()
-        .map(|f| {
+    sim::parallel::run_shards(SlotFormat::TABLE.len(), |i| {
+        let f = &SlotFormat::TABLE[i];
+        {
             let has_ul = f.ul_symbols() > 0;
             let has_leading_dl = f.symbols[0] == SymbolKind::Downlink;
             let cfg = ConfigUnderTest::repeating_format(f.index);
@@ -59,8 +61,8 @@ pub fn format_survey(budget: &ProcessingBudget) -> Vec<FormatVerdict> {
             ];
             let all_feasible = worst.iter().all(|w| matches!(w, Some(l) if *l <= URLLC_DEADLINE));
             FormatVerdict { index: f.index, letters: f.letters(), worst, all_feasible }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Renders the survey: only formats that fully meet the deadline, plus a

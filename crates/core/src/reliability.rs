@@ -38,7 +38,9 @@ pub struct ReliabilityPoint {
 /// time (Monte Carlo, deterministic under `seed`).
 ///
 /// `prep` is the deterministic PHY/MAC preparation time preceding the
-/// submission; `samples` the per-slot sample count.
+/// submission; `samples` the per-slot sample count. Margins are evaluated
+/// in parallel; each point seeds its own head and RNG stream, so the curve
+/// is bit-identical regardless of worker count.
 pub fn margin_sweep(
     head_config: &RadioHeadConfig,
     prep: Duration,
@@ -47,27 +49,25 @@ pub fn margin_sweep(
     trials: u32,
     seed: u64,
 ) -> Vec<ReliabilityPoint> {
-    margins
-        .iter()
-        .map(|&margin| {
-            let mut head = RadioHead::new(head_config.clone());
-            let mut rng = SimRng::from_seed(seed).stream("margin-sweep");
-            let mut on_time = 0u64;
-            let mut slack_sum = Duration::ZERO;
-            for _ in 0..trials {
-                let cost = prep + head.tx_radio_latency(samples, &mut rng);
-                if cost <= margin {
-                    on_time += 1;
-                    slack_sum += margin - cost;
-                }
+    sim::parallel::run_shards(margins.len(), |i| {
+        let margin = margins[i];
+        let mut head = RadioHead::new(head_config.clone());
+        let mut rng = SimRng::from_seed(seed).stream("margin-sweep");
+        let mut on_time = 0u64;
+        let mut slack_sum = Duration::ZERO;
+        for _ in 0..trials {
+            let cost = prep + head.tx_radio_latency(samples, &mut rng);
+            if cost <= margin {
+                on_time += 1;
+                slack_sum += margin - cost;
             }
-            ReliabilityPoint {
-                margin,
-                reliability: on_time as f64 / f64::from(trials),
-                mean_slack: if on_time == 0 { Duration::ZERO } else { slack_sum / on_time },
-            }
-        })
-        .collect()
+        }
+        ReliabilityPoint {
+            margin,
+            reliability: on_time as f64 / f64::from(trials),
+            mean_slack: if on_time == 0 { Duration::ZERO } else { slack_sum / on_time },
+        }
+    })
 }
 
 /// A first-order analytical model of the deadline-miss probability under

@@ -108,8 +108,10 @@ pub fn recovery_latency(
             return Some((occasion - trigger) + steps);
         }
         // Collision: the loss is only learned at Msg4; back off from there.
+        // Saturating: repeated backoffs under a pathological occasion
+        // period must exhaust the attempt budget, not abort the sweep.
         let backoff = Dist::Uniform { lo: Duration::ZERO, hi: config.max_backoff }.sample(rng);
-        ready = occasion + steps + backoff;
+        ready = occasion.saturating_add(steps).saturating_add(backoff);
     }
     None
 }
@@ -182,10 +184,10 @@ pub fn simulate_contention(config: &RachConfig, n_ues: usize, seed: u64) -> Cont
                 let backoff =
                     Dist::Uniform { lo: Duration::ZERO, hi: config.max_backoff }.sample(&mut rng);
                 ues[i].next_attempt = occasion
-                    + config.response_delay
-                    + config.msg3_delay
-                    + config.msg4_delay
-                    + backoff;
+                    .saturating_add(config.response_delay)
+                    .saturating_add(config.msg3_delay)
+                    .saturating_add(config.msg4_delay)
+                    .saturating_add(backoff);
             }
         }
         occasion += config.occasion_period;

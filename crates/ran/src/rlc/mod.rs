@@ -91,6 +91,14 @@ pub enum RlcError {
         /// Sequence number of the abandoned SDU.
         sn: u16,
     },
+    /// UM: a received segment's offset or length contradicts segments
+    /// already buffered for the same SN (overlapping bytes differ, or the
+    /// claimed SDU end moved) — a corrupted `SO` field on the wire. The
+    /// reassembly is abandoned and counted as a loss.
+    SegmentMismatch {
+        /// Sequence number of the abandoned reassembly.
+        sn: u8,
+    },
 }
 
 impl core::fmt::Display for RlcError {
@@ -102,6 +110,9 @@ impl core::fmt::Display for RlcError {
             }
             RlcError::MaxRetxReached { sn } => {
                 write!(f, "SDU with SN {sn} exceeded maxRetxThreshold")
+            }
+            RlcError::SegmentMismatch { sn } => {
+                write!(f, "segment for SN {sn} contradicts buffered segments (corrupt SO)")
             }
         }
     }

@@ -39,6 +39,44 @@ struct Reassembly {
 }
 
 impl Reassembly {
+    /// Validates an incoming segment against everything already buffered
+    /// and inserts it. The segment offset comes straight off the wire, so
+    /// a HARQ-corrupted `SO` can claim any placement; a segment is only
+    /// accepted when it is consistent with the current reassembly state:
+    ///
+    /// * where it overlaps a buffered segment, the overlapping bytes must
+    ///   be identical (true duplicates from MAC retransmissions pass);
+    /// * it must not extend past an already-known SDU end;
+    /// * a `Last` segment must not move an already-known SDU end, nor end
+    ///   before buffered data.
+    fn insert_checked(&mut self, so: usize, body: Bytes, is_last: bool) -> Result<(), ()> {
+        let end = so + body.len();
+        if is_last && self.total.is_some_and(|t| t != end) {
+            return Err(()); // the claimed SDU end moved
+        }
+        let total = self.total.or(is_last.then_some(end));
+        if total.is_some_and(|t| end > t) {
+            return Err(()); // segment extends past the SDU end
+        }
+        if is_last && self.segments.iter().any(|(&off, seg)| off + seg.len() > end) {
+            return Err(()); // buffered data already extends past this end
+        }
+        for (&off, seg) in &self.segments {
+            let lo = off.max(so);
+            let hi = (off + seg.len()).min(end);
+            if lo < hi && seg[lo - off..hi - off] != body[lo - so..hi - so] {
+                return Err(()); // overlapping bytes differ
+            }
+        }
+        self.total = total;
+        // A shorter duplicate at the same offset is a subset of what is
+        // already buffered — keep the longer segment.
+        if self.segments.get(&so).is_none_or(|seg| seg.len() < body.len()) {
+            self.segments.insert(so, body);
+        }
+        Ok(())
+    }
+
     fn try_complete(&self) -> Option<Bytes> {
         let total = self.total?;
         let mut next = 0usize;
@@ -51,8 +89,9 @@ impl Reassembly {
         if next < total {
             return None;
         }
-        // Contiguous cover of [0, total): stitch (overlaps are tolerated,
-        // later bytes win — duplicates from MAC retx are byte-identical).
+        // Contiguous cover of [0, total): stitch. `insert_checked` verified
+        // that overlapping segments agree byte for byte, so the stitch
+        // order cannot change the result.
         let mut out = vec![0u8; total];
         for (&off, seg) in &self.segments {
             let end = (off + seg.len()).min(total);
@@ -183,9 +222,7 @@ impl RlcUmEntity {
             }
             SegmentInfo::First => {
                 let sn = pdu[0] & 0x3F;
-                let entry = self.rx.entry(sn).or_default();
-                entry.segments.insert(0, pdu.slice(1..));
-                self.try_deliver(sn)
+                self.insert_segment(sn, 0, pdu.slice(1..), false)
             }
             SegmentInfo::Middle | SegmentInfo::Last => {
                 if pdu.len() < 3 {
@@ -193,15 +230,30 @@ impl RlcUmEntity {
                 }
                 let sn = pdu[0] & 0x3F;
                 let so = u16::from_be_bytes([pdu[1], pdu[2]]) as usize;
-                let body = pdu.slice(3..);
-                let entry = self.rx.entry(sn).or_default();
-                if si == SegmentInfo::Last {
-                    entry.total = Some(so + body.len());
-                }
-                entry.segments.insert(so, body);
-                self.try_deliver(sn)
+                self.insert_segment(sn, so, pdu.slice(3..), si == SegmentInfo::Last)
             }
         }
+    }
+
+    /// Validates and buffers one segment; a segment that contradicts the
+    /// buffered state abandons the whole reassembly for that SN (counted
+    /// as a loss, like AM's hardened decode path) and surfaces a typed
+    /// error instead of silently assembling a wrong SDU.
+    fn insert_segment(
+        &mut self,
+        sn: u8,
+        so: usize,
+        body: Bytes,
+        is_last: bool,
+    ) -> Result<Vec<Bytes>, RlcError> {
+        let entry = self.rx.entry(sn).or_default();
+        if entry.insert_checked(so, body, is_last).is_err() {
+            self.rx.remove(&sn);
+            self.dropped_incomplete += 1;
+            self.tel.count("rlc", "segment_mismatches", 1);
+            return Err(RlcError::SegmentMismatch { sn });
+        }
+        self.try_deliver(sn)
     }
 
     fn try_deliver(&mut self, sn: u8) -> Result<Vec<Bytes>, RlcError> {
@@ -223,7 +275,7 @@ impl RlcUmEntity {
         dropped
     }
 
-    /// SDUs abandoned by reassembly timeouts.
+    /// SDUs abandoned by reassembly timeouts or corrupted segments.
     pub fn dropped_incomplete(&self) -> u64 {
         self.dropped_incomplete
     }
@@ -359,6 +411,86 @@ mod tests {
         // Middle-segment header claims SO but PDU is 2 bytes.
         let bad = Bytes::from(vec![0b11_000001, 0x00]);
         assert_eq!(rx.rx_pdu(&bad).unwrap_err(), RlcError::Truncated);
+    }
+
+    /// Segments a 120-byte SDU into PDUs of ≤ 50 B (first/middle/last).
+    fn segmented_pdus() -> (Bytes, Vec<Bytes>) {
+        let mut tx = RlcUmEntity::new();
+        let sdu = Bytes::from((0..120u8).collect::<Vec<_>>());
+        tx.tx_sdu(sdu.clone());
+        let mut pdus = Vec::new();
+        while let Some(p) = tx.pull_pdu(50).unwrap() {
+            pdus.push(p);
+        }
+        assert!(pdus.len() >= 3);
+        (sdu, pdus)
+    }
+
+    #[test]
+    fn exact_duplicate_segments_are_benign() {
+        let (sdu, pdus) = segmented_pdus();
+        let mut rx = RlcUmEntity::new();
+        let mut delivered = Vec::new();
+        for p in &pdus {
+            delivered.extend(rx.rx_pdu(p).unwrap());
+            if delivered.is_empty() {
+                // MAC retransmission: byte-identical PDU arrives twice.
+                delivered.extend(rx.rx_pdu(p).unwrap());
+            }
+        }
+        assert_eq!(delivered, vec![sdu]);
+        assert_eq!(rx.dropped_incomplete(), 0);
+    }
+
+    #[test]
+    fn corrupted_so_overlap_is_rejected_and_counted() {
+        let (_, pdus) = segmented_pdus();
+        let mut rx = RlcUmEntity::new();
+        assert!(rx.rx_pdu(&pdus[0]).unwrap().is_empty());
+        // Corrupt the middle segment's SO so it lands inside the first
+        // segment with different bytes.
+        let mut bad = pdus[1].to_vec();
+        bad[1] = 0;
+        bad[2] = 10;
+        let sn = bad[0] & 0x3F;
+        let err = rx.rx_pdu(&Bytes::from(bad)).unwrap_err();
+        assert_eq!(err, RlcError::SegmentMismatch { sn });
+        assert_eq!(rx.dropped_incomplete(), 1);
+        // The reassembly was abandoned: the remaining honest segments can
+        // no longer complete the SDU, and nothing wrong is delivered.
+        for p in &pdus[1..] {
+            assert!(rx.rx_pdu(p).unwrap().is_empty());
+        }
+        assert_eq!(rx.delivered(), 0);
+    }
+
+    #[test]
+    fn contradictory_last_segment_end_is_rejected() {
+        let (_, pdus) = segmented_pdus();
+        let mut rx = RlcUmEntity::new();
+        let last = pdus.last().unwrap();
+        assert!(rx.rx_pdu(last).unwrap().is_empty());
+        // A second Last for the same SN claiming a different SDU end.
+        let mut moved = last.to_vec();
+        let so = u16::from_be_bytes([moved[1], moved[2]]);
+        moved[1..3].copy_from_slice(&(so + 4).to_be_bytes());
+        let sn = moved[0] & 0x3F;
+        assert_eq!(rx.rx_pdu(&Bytes::from(moved)).unwrap_err(), RlcError::SegmentMismatch { sn });
+        assert_eq!(rx.dropped_incomplete(), 1);
+    }
+
+    #[test]
+    fn segment_past_known_total_is_rejected() {
+        let (_, pdus) = segmented_pdus();
+        let mut rx = RlcUmEntity::new();
+        let last = pdus.last().unwrap();
+        assert!(rx.rx_pdu(last).unwrap().is_empty());
+        // A middle segment whose corrupted SO pushes it past the SDU end.
+        let mut bad = pdus[1].to_vec();
+        bad[0] = (SegmentInfo::Middle.to_bits() << 6) | (bad[0] & 0x3F);
+        bad[1..3].copy_from_slice(&u16::MAX.to_be_bytes());
+        let sn = bad[0] & 0x3F;
+        assert_eq!(rx.rx_pdu(&Bytes::from(bad)).unwrap_err(), RlcError::SegmentMismatch { sn });
     }
 
     #[test]

@@ -189,7 +189,9 @@ impl Scheduler {
     pub fn run_slot(&mut self, slot: u64) -> SlotDecision {
         self.rounds += 1;
         let now = self.config.duplex.slot_start(slot);
-        let horizon = now + self.config.lead;
+        // Saturating: a chaos sweep driving the lead towards the infinite
+        // sentinel must starve the queue, not abort the process.
+        let horizon = now.saturating_add(self.config.lead);
         let mut decision = SlotDecision::default();
 
         // Downlink assignments.
@@ -213,10 +215,13 @@ impl Scheduler {
             }
             // The grant DCI rides the control region of a DL-capable slot
             // (shorter pipeline than a data TB).
-            let grant_op = self.config.duplex.next_dl_opportunity(now + self.config.control_lead);
+            let grant_op = self
+                .config
+                .duplex
+                .next_dl_opportunity(now.saturating_add(self.config.control_lead));
             let grant_tx = grant_op.tx_start;
             // The UE can transmit after decoding the grant and preparing.
-            let ue_ready = grant_tx + self.config.ue_grant_processing;
+            let ue_ready = grant_tx.saturating_add(self.config.ue_grant_processing);
             let ul = self.reserve_ul(ue_ready, self.config.grant_bytes);
             decision.ul_grants.push(UlGrant { rnti, grant_tx, ul, bytes: self.config.grant_bytes });
         }

@@ -352,6 +352,13 @@ impl FaultTally {
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Adds another tally into this one (commutative — shard reduction).
+    pub fn merge(&mut self, other: &FaultTally) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+    }
 }
 
 /// The per-ping fault ledger: which faults fired during one packet's
@@ -475,6 +482,18 @@ impl FaultAttribution {
     /// every late ping attributed to the baseline latency tail.
     pub fn is_fault_free(&self) -> bool {
         self.lost == 0 && self.late_by.total() == 0 && self.lost_by.total() == 0
+    }
+
+    /// Adds another attribution into this one. Every field is a sum, so the
+    /// merge is commutative and a sharded sweep reduces to the same totals
+    /// as a sequential pass over the same shards.
+    pub fn merge(&mut self, other: &FaultAttribution) {
+        self.on_time += other.on_time;
+        self.late += other.late;
+        self.lost += other.lost;
+        self.late_baseline += other.late_baseline;
+        self.late_by.merge(&other.late_by);
+        self.lost_by.merge(&other.lost_by);
     }
 }
 
@@ -644,6 +663,27 @@ impl FaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn attribution_merge_matches_sequential_recording() {
+        let mut whole = FaultAttribution::default();
+        let mut left = FaultAttribution::default();
+        let mut right = FaultAttribution::default();
+        for (i, part) in [&mut left, &mut right].into_iter().enumerate() {
+            for j in 0..5u64 {
+                let dominant = (j % 2 == 0).then_some(FaultKind::SrLoss);
+                part.record_delivered(j < 3, dominant);
+                whole.record_delivered(j < 3, dominant);
+            }
+            if i == 0 {
+                part.record_lost(Some(FaultKind::ChannelBurst));
+                whole.record_lost(Some(FaultKind::ChannelBurst));
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        assert_eq!(left.total(), 11);
+    }
 
     #[test]
     fn chaos_zero_is_the_empty_plan() {

@@ -27,6 +27,7 @@
 pub mod dist;
 pub mod event;
 pub mod faults;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,0 +1,156 @@
+//! Deterministic work-sharded parallel sweeps.
+//!
+//! Every sweep in the workspace — design points, UE populations, fault
+//! plans, ping batches — is a list of *independent seeded experiments*:
+//! shard `i` derives its randomness from the master seed and a shard label
+//! through [`crate::SimRng::stream_indexed`], so its result is a pure
+//! function of `(config, i)`. This module fans such shards across a thread
+//! pool and returns the results **in shard-index order**, which makes the
+//! merged output bit-identical regardless of thread count or OS scheduling:
+//!
+//! * shard count and shard boundaries depend only on the workload, never on
+//!   the number of workers;
+//! * workers pull shard indices from a shared counter (work stealing), but
+//!   each result lands in its own index-addressed slot;
+//! * reducers run over the returned `Vec` sequentially, in index order, so
+//!   even non-commutative merges (sample concatenation, trace selection)
+//!   are deterministic.
+//!
+//! The worker count is a process-wide setting ([`set_jobs`], the `--jobs`
+//! flag of the `repro` binary, or the `URLLC_JOBS` environment variable) —
+//! it is a *performance* knob only and must never change results, which the
+//! integration suite asserts by re-running sweeps at 1/2/8 jobs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide worker-count override; 0 = auto-detect.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker count for [`run_shards`]. `0` restores
+/// auto-detection (`URLLC_JOBS`, then the number of CPU cores).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::SeqCst);
+}
+
+/// The resolved worker count: the [`set_jobs`] override, else the
+/// `URLLC_JOBS` environment variable, else the number of CPU cores.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::SeqCst) {
+        0 => std::env::var("URLLC_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        n => n,
+    }
+}
+
+/// Runs shards `0..n` of `f` across the process-wide worker pool (see
+/// [`jobs`]) and returns the results in shard-index order.
+pub fn run_shards<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_shards_with(jobs(), n, f)
+}
+
+/// Like [`run_shards`] with an explicit worker count — the form tests use,
+/// because the global setting would race across concurrently running test
+/// threads.
+pub fn run_shards_with<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("shard slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("shard slot poisoned").expect("shard completed"))
+        .collect()
+}
+
+/// Splits `total` work items into shards of at most `shard_size`, returning
+/// each shard's `(start, len)`. The split depends only on the workload —
+/// never on the worker count — so shard boundaries (and therefore derived
+/// RNG streams) are identical at any parallelism.
+pub fn shard_ranges(total: u64, shard_size: u64) -> Vec<(u64, u64)> {
+    assert!(shard_size > 0, "shard size must be positive");
+    let mut ranges = Vec::new();
+    let mut start = 0;
+    while start < total {
+        let len = shard_size.min(total - start);
+        ranges.push((start, len));
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_index_order() {
+        for workers in [1, 2, 8] {
+            let out = run_shards_with(workers, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        // A shard whose result depends on a derived RNG stream: identical
+        // across any worker count because the stream is keyed by index.
+        let shard = |i: usize| {
+            use rand::RngCore;
+            crate::SimRng::from_seed(42).stream_indexed("shard", i as u64).next_u64()
+        };
+        let seq = run_shards_with(1, 32, shard);
+        for workers in [2, 3, 8, 32] {
+            assert_eq!(run_shards_with(workers, 32, shard), seq, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_empty() {
+        let out: Vec<u64> = run_shards_with(4, 0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly() {
+        assert_eq!(shard_ranges(10, 4), vec![(0, 4), (4, 4), (8, 2)]);
+        assert_eq!(shard_ranges(4, 4), vec![(0, 4)]);
+        assert_eq!(shard_ranges(0, 4), Vec::<(u64, u64)>::new());
+        let total: u64 = shard_ranges(1_000, 64).iter().map(|&(_, l)| l).sum();
+        assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn set_jobs_overrides_and_resets() {
+        // Serialised within this test: the global is process-wide.
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+    }
+}

@@ -171,6 +171,22 @@ impl Histogram {
         &self.bins
     }
 
+    /// Merges another histogram into this one (parallel sweeps).
+    ///
+    /// # Panics
+    /// Panics if the two histograms have different ranges or bin counts —
+    /// merging is only meaningful shard-to-shard within one sweep.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "histogram layouts differ"
+        );
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.count += other.count;
+    }
+
     /// Fraction of observations strictly below `x` (linear interpolation
     /// inside the containing bin).
     pub fn cdf(&self, x: f64) -> f64 {
@@ -285,20 +301,40 @@ impl LatencyRecorder {
         h
     }
 
-    /// Summary of the recorded samples.
-    pub fn summary(&mut self) -> Summary {
-        if self.is_empty() {
-            return Summary::default();
+    /// Merges another recorder into this one (parallel sweeps).
+    ///
+    /// Samples are appended in the other recorder's order, so merging
+    /// shards in index order reproduces the raw-sample sequence a
+    /// sequential run of the same shard schedule would record.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        if other.samples_us.is_empty() {
+            return;
         }
+        self.sorted = self.samples_us.is_empty() && other.sorted;
+        self.samples_us.extend_from_slice(&other.samples_us);
+        self.stats.merge(&other.stats);
+    }
+
+    /// Summary of the recorded samples.
+    ///
+    /// Quantiles go through [`try_quantile_us`](Self::try_quantile_us): an
+    /// all-faulted sweep (zero deliveries) yields `Summary::default()`
+    /// instead of panicking mid-report.
+    pub fn summary(&mut self) -> Summary {
+        let (Some(p50_us), Some(p99_us), Some(p999_us)) =
+            (self.try_quantile_us(0.50), self.try_quantile_us(0.99), self.try_quantile_us(0.999))
+        else {
+            return Summary::default();
+        };
         Summary {
             count: self.count(),
             mean_us: self.stats.mean(),
             std_us: self.stats.std(),
             min_us: self.stats.min(),
             max_us: self.stats.max(),
-            p50_us: self.quantile_us(0.50),
-            p99_us: self.quantile_us(0.99),
-            p999_us: self.quantile_us(0.999),
+            p50_us,
+            p99_us,
+            p999_us,
         }
     }
 
@@ -463,6 +499,56 @@ mod tests {
     fn empty_recorder_summary_is_default() {
         let mut r = LatencyRecorder::new();
         assert_eq!(r.summary(), Summary::default());
+    }
+
+    #[test]
+    fn recorder_merge_matches_sequential() {
+        let mut whole = LatencyRecorder::new();
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            let d = Duration::from_micros(i * 37 % 101);
+            whole.record(d);
+            if i <= 40 {
+                a.record(d)
+            } else {
+                b.record(d)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.samples_us(), whole.samples_us());
+        assert_eq!(a.count(), whole.count());
+        let (sa, sw) = (a.summary(), whole.summary());
+        assert_eq!(sa.p50_us, sw.p50_us);
+        assert_eq!(sa.p999_us, sw.p999_us);
+        assert!((sa.mean_us - sw.mean_us).abs() < 1e-9);
+        assert!((sa.std_us - sw.std_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorder_merge_with_empty_sides() {
+        let mut a = LatencyRecorder::new();
+        a.merge(&LatencyRecorder::new());
+        assert!(a.is_empty());
+        assert_eq!(a.summary(), Summary::default());
+        let mut b = LatencyRecorder::new();
+        b.record(Duration::from_micros(5));
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.quantile_us(0.5), 5.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        a.push(1.5);
+        b.push(1.5);
+        b.push(8.5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.counts()[1], 2);
+        assert_eq!(a.counts()[8], 1);
     }
 
     #[test]

@@ -97,6 +97,36 @@ impl Duration {
         Duration { nanos: self.nanos.saturating_sub(rhs.nanos) }
     }
 
+    /// Checked addition; `None` on overflow.
+    pub const fn checked_add(self, rhs: Duration) -> Option<Duration> {
+        match self.nanos.checked_add(rhs.nanos) {
+            Some(n) => Some(Duration { nanos: n }),
+            None => None,
+        }
+    }
+
+    /// Saturating addition: clamps at [`Duration::MAX`]. Use in scheduler
+    /// and backoff paths where an "infinite" deadline sentinel plus a
+    /// backoff step must stay infinite instead of aborting the sweep.
+    pub const fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration { nanos: self.nanos.saturating_add(rhs.nanos) }
+    }
+
+    /// Checked scalar multiplication; `None` on overflow.
+    pub const fn checked_mul(self, rhs: u64) -> Option<Duration> {
+        match self.nanos.checked_mul(rhs) {
+            Some(n) => Some(Duration { nanos: n }),
+            None => None,
+        }
+    }
+
+    /// Saturating scalar multiplication: clamps at [`Duration::MAX`].
+    /// Exponential backoff doublings under long grant-withholding faults
+    /// land here rather than on the panicking `Mul` impl.
+    pub const fn saturating_mul(self, rhs: u64) -> Duration {
+        Duration { nanos: self.nanos.saturating_mul(rhs) }
+    }
+
     /// Returns the larger of `self` and `other`.
     pub fn max(self, other: Duration) -> Duration {
         if self >= other {
@@ -279,6 +309,26 @@ impl Instant {
         assert!(!period.is_zero(), "floor_to: zero period");
         Instant { nanos: self.nanos - self.nanos % period.as_nanos() }
     }
+
+    /// Checked addition; `None` on overflow.
+    pub const fn checked_add(self, rhs: Duration) -> Option<Instant> {
+        match self.nanos.checked_add(rhs.as_nanos()) {
+            Some(n) => Some(Instant { nanos: n }),
+            None => None,
+        }
+    }
+
+    /// Saturating addition: clamps at the far future instead of panicking.
+    /// Scheduler horizons and retry deadlines computed from near-`MAX`
+    /// sentinels stay ordered (`MAX` compares after everything real).
+    pub const fn saturating_add(self, rhs: Duration) -> Instant {
+        Instant { nanos: self.nanos.saturating_add(rhs.as_nanos()) }
+    }
+
+    /// Saturating subtraction: clamps at the epoch ([`Instant::ZERO`]).
+    pub const fn saturating_sub(self, rhs: Duration) -> Instant {
+        Instant { nanos: self.nanos.saturating_sub(rhs.as_nanos()) }
+    }
 }
 
 impl Add<Duration> for Instant {
@@ -367,6 +417,27 @@ mod tests {
     #[should_panic(expected = "Duration underflow")]
     fn duration_sub_underflow_panics() {
         let _ = Duration::from_nanos(1) - Duration::from_nanos(2);
+    }
+
+    #[test]
+    fn checked_and_saturating_ops_clamp() {
+        assert_eq!(Duration::MAX.checked_add(Duration::from_nanos(1)), None);
+        assert_eq!(Duration::MAX.saturating_add(Duration::from_nanos(1)), Duration::MAX);
+        assert_eq!(Duration::MAX.checked_mul(2), None);
+        assert_eq!(Duration::MAX.saturating_mul(2), Duration::MAX);
+        assert_eq!(Duration::from_micros(3).saturating_mul(4), Duration::from_micros(12));
+        assert_eq!(
+            Duration::from_micros(1).checked_add(Duration::from_micros(2)),
+            Some(Duration::from_micros(3))
+        );
+        let far = Instant::from_nanos(u64::MAX);
+        assert_eq!(far.checked_add(Duration::from_nanos(1)), None);
+        assert_eq!(far.saturating_add(Duration::from_nanos(1)), far);
+        assert_eq!(Instant::ZERO.saturating_sub(Duration::from_nanos(1)), Instant::ZERO);
+        assert_eq!(
+            Instant::from_micros(1).saturating_add(Duration::from_micros(2)),
+            Instant::from_micros(3)
+        );
     }
 
     #[test]

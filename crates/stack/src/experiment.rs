@@ -52,6 +52,18 @@ pub struct LayerStats {
     pub phy: StreamingStats,
 }
 
+impl LayerStats {
+    /// Welford-merges every per-layer accumulator (shard reduction).
+    pub fn merge(&mut self, other: &LayerStats) {
+        self.sdap.merge(&other.sdap);
+        self.pdcp.merge(&other.pdcp);
+        self.rlc.merge(&other.rlc);
+        self.rlcq.merge(&other.rlcq);
+        self.mac.merge(&other.mac);
+        self.phy.merge(&other.phy);
+    }
+}
+
 /// A radio-link failure: one transport block exhausted both its HARQ and
 /// its RLC AM retransmission budgets. The connection-recovery layer then
 /// attempts RRC re-establishment; `recovered` records whether the ping
@@ -139,6 +151,40 @@ impl ExperimentResult {
     /// Convenience: DL summary.
     pub fn dl_summary(&mut self) -> Summary {
         self.dl.summary()
+    }
+
+    /// Folds another shard's result into this one. Recorders concatenate,
+    /// streaming statistics Welford-merge, counters add, and event lists
+    /// append — so a reducer folding shards in index order produces one
+    /// result whose totals match a sequential pass over the same shards,
+    /// regardless of how many workers raced to produce them. `telemetry`
+    /// is left untouched: the parallel runner summarises its absorbed sink
+    /// once, after the fold.
+    pub fn merge(&mut self, other: ExperimentResult) {
+        self.ul.merge(&other.ul);
+        self.dl.merge(&other.dl);
+        self.rtt.merge(&other.rtt);
+        self.layers.merge(&other.layers);
+        self.underruns += other.underruns;
+        self.missed_grants += other.missed_grants;
+        self.integrity_failures += other.integrity_failures;
+        self.harq_retx += other.harq_retx;
+        self.harq_failures += other.harq_failures;
+        self.sr_retx += other.sr_retx;
+        self.rach_recoveries += other.rach_recoveries;
+        self.grants_withheld += other.grants_withheld;
+        self.spurious_harq_retx += other.spurious_harq_retx;
+        self.rlc_escalations += other.rlc_escalations;
+        self.rlf.extend(other.rlf);
+        self.recovered += other.recovered;
+        self.recovery.merge(&other.recovery);
+        self.recovery_failures += other.recovery_failures;
+        self.path_failovers += other.path_failovers;
+        self.path_probes.0 += other.path_probes.0;
+        self.path_probes.1 += other.path_probes.1;
+        self.path_events.extend(other.path_events);
+        self.attribution.merge(&other.attribution);
+        self.traces.extend(other.traces);
     }
 }
 
@@ -260,10 +306,18 @@ impl PingExperiment {
     /// the pattern period (§7: "packets are uniformly generated within the
     /// pattern").
     pub fn run_spaced(&mut self, n: u64, spacing: Duration) -> ExperimentResult {
+        self.run_span(0, n, spacing)
+    }
+
+    /// Runs pings `start..start + len` of a global schedule: ping `i`
+    /// keeps the arrival slot it would have in a full run (`spacing · i`),
+    /// so slot indices, journal timestamps and ping ids stay globally
+    /// consistent when a parallel run merges batch results.
+    fn run_span(&mut self, start: u64, len: u64, spacing: Duration) -> ExperimentResult {
         let mut result = ExperimentResult::default();
         let period = self.config.duplex.pattern_period();
         let offset_dist = Dist::Uniform { lo: Duration::ZERO, hi: period };
-        for i in 0..n {
+        for i in start..start + len {
             let base = Instant::ZERO + spacing * i + period; // skip slot 0 warm-up
             let arrival = base + offset_dist.sample(&mut self.rng_arrival);
             self.one_ping(i, arrival, &mut result);
@@ -961,10 +1015,15 @@ impl PingExperiment {
         };
         let dl_tx = assign.dl.tx_start;
         let decision_time = cfg.duplex.slot_start(boundary_slot);
-        // TB construction starts up to two slots before the air time (the
-        // slot-ahead build plus the §7 radio-delay slot), never before the
-        // scheduling decision itself.
-        let tb_build = decision_time.max(dl_tx - cfg.duplex.slot_duration() * 2);
+        // The configured DL pull point ends the RLC-q interval: either the
+        // decision's slot worker builds the TB immediately (srsRAN's
+        // pipeline), or the build is deferred to a fixed number of slots
+        // before the air time, never before the decision itself.
+        let tb_build = match cfg.dl_pull {
+            crate::config::DlPullPoint::AtDecision => decision_time,
+            crate::config::DlPullPoint::SlotsBeforeAir(slots) => decision_time
+                .max(dl_tx.saturating_sub(cfg.duplex.slot_duration().saturating_mul(slots))),
+        };
         result.layers.rlcq.push((tb_build - in_rlc_q).as_micros_f64());
         self.tel.record("rlc", "queue_us", tb_build - in_rlc_q);
         trace.dl.push(StageSpan::new(labels::RLC_Q, in_rlc_q, tb_build));
@@ -1063,6 +1122,89 @@ impl PingExperiment {
     }
 }
 
+/// Pings per shard of a parallel run. Fixed: shard boundaries — and the
+/// per-shard RNG streams derived from them — depend only on the workload,
+/// never on the worker count, which is what makes the merged output
+/// bit-identical at any parallelism.
+pub const BATCH_PINGS: u64 = 256;
+
+/// Runs `n` pings as independently seeded fixed-size batches
+/// ([`BATCH_PINGS`]) fanned across the process-wide worker pool
+/// (`sim::parallel`), keeping the default three traces.
+///
+/// Batch `b` derives its master RNG from
+/// `SimRng::from_seed(config.seed).stream_indexed("batch", b)`, so its
+/// draws are a pure function of `(config, b)` — results are bit-identical
+/// regardless of thread count, though *not* sample-identical to a single
+/// sequential [`PingExperiment::run`] of the same seed (the batch
+/// structure re-keys the streams).
+pub fn run_parallel(config: &StackConfig, n: u64) -> ExperimentResult {
+    run_parallel_opts(config, n, 3, None)
+}
+
+/// [`run_parallel`] with an explicit trace quota (traces of pings
+/// `0..traces` survive the merge, at their ping id's index) and an
+/// optional telemetry sink — per-shard sibling sinks are absorbed into
+/// `tel` in shard order.
+pub fn run_parallel_opts(
+    config: &StackConfig,
+    n: u64,
+    traces: usize,
+    tel: Option<&Telemetry>,
+) -> ExperimentResult {
+    run_sharded(config, n, traces, tel, None)
+}
+
+/// [`run_parallel_opts`] with an explicit worker count — the determinism
+/// suite uses this form to compare 1/2/8 workers without racing the
+/// process-wide jobs setting.
+pub fn run_parallel_workers(
+    config: &StackConfig,
+    n: u64,
+    traces: usize,
+    tel: Option<&Telemetry>,
+    workers: usize,
+) -> ExperimentResult {
+    run_sharded(config, n, traces, tel, Some(workers))
+}
+
+fn run_sharded(
+    config: &StackConfig,
+    n: u64,
+    traces: usize,
+    tel: Option<&Telemetry>,
+    workers: Option<usize>,
+) -> ExperimentResult {
+    let spacing = config.duplex.pattern_period() * 5;
+    let ranges = sim::parallel::shard_ranges(n, BATCH_PINGS);
+    let run_shard = |b: usize| {
+        let (start, len) = ranges[b];
+        let seed = SimRng::from_seed(config.seed).stream_indexed("batch", b as u64).seed();
+        let mut exp = PingExperiment::new(config.clone().with_seed(seed));
+        exp.keep_traces(traces.saturating_sub(start as usize).min(len as usize));
+        let shard_tel = tel.map(Telemetry::sibling);
+        if let Some(t) = &shard_tel {
+            exp.attach_telemetry(t.clone());
+        }
+        (exp.run_span(start, len, spacing), shard_tel)
+    };
+    let shards = match workers {
+        Some(w) => sim::parallel::run_shards_with(w, ranges.len(), run_shard),
+        None => sim::parallel::run_shards(ranges.len(), run_shard),
+    };
+    let mut result = ExperimentResult::default();
+    for (shard, shard_tel) in shards {
+        result.merge(shard);
+        if let (Some(parent), Some(child)) = (tel, shard_tel.as_ref()) {
+            parent.absorb(child);
+        }
+    }
+    if let Some(t) = tel {
+        result.telemetry = t.summary();
+    }
+    result
+}
+
 /// Deterministic ICMP-echo-like payload for ping `id`.
 fn make_payload(id: u64, len: usize) -> Vec<u8> {
     let mut v = Vec::with_capacity(len);
@@ -1123,6 +1265,62 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn parallel_run_is_worker_count_invariant() {
+        // The whole tentpole contract in one assertion: same batch
+        // structure, any parallelism, byte-identical samples and counters.
+        let cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true)
+            .with_seed(6)
+            .with_faults(sim::FaultPlan::chaos(0.2));
+        let n = 2 * BATCH_PINGS + 17; // three shards, one ragged
+        let base = run_parallel_workers(&cfg, n, 3, None, 1);
+        for workers in [2, 8] {
+            let res = run_parallel_workers(&cfg, n, 3, None, workers);
+            assert_eq!(res.ul.samples_us(), base.ul.samples_us(), "workers={workers}");
+            assert_eq!(res.dl.samples_us(), base.dl.samples_us(), "workers={workers}");
+            assert_eq!(res.rtt.samples_us(), base.rtt.samples_us(), "workers={workers}");
+            assert_eq!(res.attribution, base.attribution, "workers={workers}");
+            assert_eq!(res.rlf, base.rlf, "workers={workers}");
+            assert_eq!(res.sr_retx, base.sr_retx);
+            assert_eq!(res.grants_withheld, base.grants_withheld);
+            assert_eq!(res.traces.len(), base.traces.len());
+        }
+        assert_eq!(base.attribution.total(), n);
+        assert_eq!(base.traces.len(), 3);
+    }
+
+    #[test]
+    fn parallel_trace_quota_spans_shards() {
+        let cfg = StackConfig::testbed_dddu(AccessMode::GrantFree, true).with_seed(5);
+        let n = BATCH_PINGS + 8;
+        let quota = BATCH_PINGS as usize + 5; // forces traces from shard 1
+        let res = run_parallel_workers(&cfg, n, quota, None, 2);
+        assert_eq!(res.traces.len(), quota);
+        // Trace at index i narrates ping i (the recovery report relies on
+        // this alignment).
+        for (i, t) in res.traces.iter().enumerate() {
+            assert_eq!(t.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_telemetry_reduction_is_worker_count_invariant() {
+        let cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true)
+            .with_seed(7)
+            .with_faults(sim::FaultPlan::chaos(0.2));
+        let run = |workers| {
+            let tel = Telemetry::new(4096);
+            let res = run_parallel_workers(&cfg, 64, 3, Some(&tel), workers);
+            (tel.snapshot(), tel.journal_events().len(), res.telemetry)
+        };
+        let (snap1, journal1, sum1) = run(1);
+        let (snap4, journal4, sum4) = run(4);
+        assert_eq!(snap1, snap4);
+        assert_eq!(journal1, journal4);
+        assert_eq!(sum1, sum4);
+        assert!(sum1.enabled && sum1.metric_keys > 0);
     }
 
     #[test]

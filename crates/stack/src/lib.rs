@@ -32,8 +32,11 @@ pub mod node;
 pub mod stage_labels;
 
 pub use coexistence::{coexistence_sweep, CoexistencePoint, CoexistencePolicy};
-pub use config::StackConfig;
-pub use experiment::{ExperimentResult, PingExperiment, RlfEvent};
+pub use config::{DlPullPoint, StackConfig};
+pub use experiment::{
+    run_parallel, run_parallel_opts, run_parallel_workers, ExperimentResult, PingExperiment,
+    RlfEvent, BATCH_PINGS,
+};
 pub use journey::{PingTrace, StageSpan};
 pub use multi_ue::{run_multi_ue, scalability_sweep, MultiUeConfig, MultiUeResult};
 pub use node::{GnbStack, UeStack};

@@ -236,20 +236,19 @@ fn run_grant_based(config: &MultiUeConfig) -> MultiUeResult {
     MultiUeResult { n_ues: config.n_ues, ul, wasted_fraction: None, rotation_period: None }
 }
 
-/// Sweeps the UE population, returning one result per point.
+/// Sweeps the UE population, returning one result per point. Points are
+/// evaluated in parallel; each seeds its own RNG from `seed`, so the sweep
+/// is bit-identical regardless of worker count.
 pub fn scalability_sweep(
     access: AccessMode,
     populations: &[usize],
     seed: u64,
 ) -> Vec<MultiUeResult> {
-    populations
-        .iter()
-        .map(|&n| {
-            let mut cfg = MultiUeConfig::testbed(access, n);
-            cfg.base = cfg.base.with_seed(seed);
-            run_multi_ue(&cfg)
-        })
-        .collect()
+    sim::parallel::run_shards(populations.len(), |i| {
+        let mut cfg = MultiUeConfig::testbed(access, populations[i]);
+        cfg.base = cfg.base.with_seed(seed);
+        run_multi_ue(&cfg)
+    })
 }
 
 #[cfg(test)]

@@ -112,6 +112,37 @@ impl Telemetry {
         self.with(|t| t.journal.dropped()).unwrap_or(0)
     }
 
+    /// A fresh, empty handle with the same enabled state and journal
+    /// capacity — the per-shard sink of a parallel sweep. Shards record
+    /// into their own sibling (no cross-thread interleaving) and the
+    /// reducer folds them back with [`absorb`](Self::absorb) in shard
+    /// order, so the merged registry and journal are independent of worker
+    /// count.
+    pub fn sibling(&self) -> Telemetry {
+        match self.with(|t| t.journal.capacity()) {
+            Some(capacity) => Telemetry::new(capacity),
+            None => Telemetry::disabled(),
+        }
+    }
+
+    /// Folds another handle's registry and journal into this one: counters
+    /// and histograms merge, gauges are last-write-wins, and `other`'s
+    /// journal window is replayed into this ring in order (its own
+    /// overflow drops carry over). No-op when either handle is disabled
+    /// or both share one sink.
+    pub fn absorb(&self, other: &Telemetry) {
+        let (Some(mine), Some(theirs)) = (self.inner.as_ref(), other.inner.as_ref()) else {
+            return;
+        };
+        if Arc::ptr_eq(mine, theirs) {
+            return;
+        }
+        let theirs = theirs.lock().expect("telemetry mutex poisoned");
+        let mut mine = mine.lock().expect("telemetry mutex poisoned");
+        mine.registry.merge(&theirs.registry);
+        mine.journal.absorb(&theirs.journal);
+    }
+
     /// Compact summary for embedding in experiment results.
     pub fn summary(&self) -> TelemetrySummary {
         self.with(|t| {
@@ -193,6 +224,42 @@ mod tests {
         assert_eq!(s.layers, vec!["mac".to_string()]);
         assert_eq!(s.journal_events, 1);
         assert!(s.render().contains("1 keys"));
+    }
+
+    #[test]
+    fn sibling_and_absorb_reduce_like_one_sink() {
+        let parent = Telemetry::new(4);
+        let shard_a = parent.sibling();
+        let shard_b = parent.sibling();
+        shard_a.count("mac", "harq_retx", 2);
+        shard_b.count("mac", "harq_retx", 5);
+        shard_a.record("radio", "submit_us", Duration::from_micros(10));
+        shard_b.record("radio", "submit_us", Duration::from_micros(20));
+        for i in 0..3u64 {
+            shard_a.journal(JournalEvent::Marker {
+                layer: "a",
+                label: "m",
+                at: Instant::from_micros(i),
+            });
+            shard_b.journal(JournalEvent::Marker {
+                layer: "b",
+                label: "m",
+                at: Instant::from_micros(i),
+            });
+        }
+        parent.absorb(&shard_a);
+        parent.absorb(&shard_b);
+        assert_eq!(parent.snapshot().counter("mac", "harq_retx"), Some(7));
+        // Ring capacity 4: the six replayed markers shed the two oldest.
+        let events = parent.journal_events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(parent.journal_dropped(), 2);
+        // Absorbing a disabled handle or the sink itself is a no-op.
+        parent.absorb(&Telemetry::disabled());
+        parent.absorb(&parent.clone());
+        assert_eq!(parent.journal_events().len(), 4);
+        // A disabled parent spawns disabled siblings.
+        assert!(!Telemetry::disabled().sibling().is_enabled());
     }
 
     #[test]

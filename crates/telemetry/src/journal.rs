@@ -192,6 +192,17 @@ impl EventJournal {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Replays another journal's retained window into this ring, oldest
+    /// first, and carries over its overflow count. Used by the parallel
+    /// reducer: folding shard journals in shard order approximates one
+    /// global ring over the concatenated event stream.
+    pub fn absorb(&mut self, other: &EventJournal) {
+        self.dropped += other.dropped;
+        for &event in other.events() {
+            self.push(event);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -140,6 +140,24 @@ impl LogLinearHistogram {
         }
     }
 
+    /// Adds another histogram's buckets into this one. Buckets are fixed
+    /// by value, not by insertion order, so the merge is commutative.
+    pub fn merge(&mut self, other: &LogLinearHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Nearest-rank `q`-quantile (`q` in `[0, 1]`), reported as the lower
     /// bound of the containing bucket — conservative, and exact for values
     /// below [`SUB_BUCKETS`]. Returns 0 when empty.
@@ -252,6 +270,23 @@ impl MetricsRegistry {
     /// `true` when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Folds another registry into this one: counters add, histograms
+    /// merge bucket-wise, gauges are last-write-wins (`other` is the later
+    /// write — reducers fold shards in index order, so the surviving gauge
+    /// is the one the highest-indexed shard set, exactly as a sequential
+    /// run of the same shards would leave it).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (&key, &n) in &other.counters {
+            self.count(key, n);
+        }
+        for (&key, &v) in &other.gauges {
+            self.gauge(key, v);
+        }
+        for (&key, h) in &other.histograms {
+            self.histograms.entry(key).or_default().merge(h);
+        }
     }
 
     /// A deterministic, key-ordered snapshot of every metric.
@@ -412,6 +447,45 @@ impl MetricsSnapshot {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn registry_merge_matches_sequential_recording() {
+        let key = MetricKey::new("mac", "proc_us");
+        let gauge = MetricKey::new("sched", "backlog");
+        let mut whole = MetricsRegistry::new();
+        let mut left = MetricsRegistry::new();
+        let mut right = MetricsRegistry::new();
+        for ns in [100u64, 2_000, 300_000] {
+            left.record_ns(key, ns);
+            whole.record_ns(key, ns);
+        }
+        for ns in [5u64, 40_000] {
+            right.record_ns(key, ns);
+            whole.record_ns(key, ns);
+        }
+        left.count(key, 2);
+        right.count(key, 3);
+        whole.count(key, 5);
+        left.gauge(gauge, 1.0);
+        right.gauge(gauge, 7.0);
+        whole.gauge(gauge, 1.0);
+        whole.gauge(gauge, 7.0);
+        left.merge(&right);
+        assert_eq!(left.snapshot(), whole.snapshot());
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_sides() {
+        let mut a = LogLinearHistogram::new();
+        let mut b = LogLinearHistogram::new();
+        a.merge(&b); // empty ⊕ empty
+        assert_eq!(a.count(), 0);
+        b.record(42);
+        a.merge(&b); // empty ⊕ filled
+        assert_eq!((a.count(), a.min(), a.max()), (1, 42, 42));
+        a.merge(&LogLinearHistogram::new()); // filled ⊕ empty
+        assert_eq!((a.count(), a.min(), a.max()), (1, 42, 42));
+    }
 
     #[test]
     fn key_render_forms() {
