@@ -126,7 +126,11 @@ fn ablation_access_mode(c: &mut Criterion) {
         [("grant_free", AccessMode::GrantFree), ("grant_based", AccessMode::GrantBased)]
     {
         g.bench_function(format!("scalability_sweep_{name}"), |b| {
-            b.iter(|| black_box(stack::scalability_sweep(access, &[1, 16, 64], 5)))
+            b.iter(|| {
+                black_box(
+                    stack::scalability_sweep(access, &[1, 16, 64], 5).expect("sweep converges"),
+                )
+            })
         });
     }
     g.finish();

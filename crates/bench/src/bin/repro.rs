@@ -443,8 +443,10 @@ fn scale() {
     );
     // One sweep call per access mode: the sweep itself fans the population
     // points across the worker pool.
-    let mut gf_all = stack::scalability_sweep(AccessMode::GrantFree, &populations, 11);
-    let mut gb_all = stack::scalability_sweep(AccessMode::GrantBased, &populations, 11);
+    let mut gf_all = stack::scalability_sweep(AccessMode::GrantFree, &populations, 11)
+        .expect("grant-free scalability sweep diverged");
+    let mut gb_all = stack::scalability_sweep(AccessMode::GrantBased, &populations, 11)
+        .expect("grant-based scalability sweep diverged");
     for (i, &n) in populations.iter().enumerate() {
         let gf = &mut gf_all[i];
         let gb = &mut gb_all[i];

@@ -11,18 +11,22 @@
 //! * [`backbone`] — N3/N6 transport delay models;
 //! * [`supervision`] — GTP-U echo keepalive with retry/backoff and
 //!   failover onto a backup path;
+//! * [`hop`] — the supervised crossing packaged as one pipeline unit for
+//!   the stack's event-driven ping walk;
 //! * [`qos`] — the standardised 5QI table (TS 23.501): packet delay
 //!   budgets and error-rate targets, and what a configuration's latency
 //!   can legally carry.
 
 pub mod backbone;
 pub mod gtpu;
+pub mod hop;
 pub mod qos;
 pub mod supervision;
 pub mod upf;
 
 pub use backbone::BackboneLink;
 pub use gtpu::{GtpuHeader, GTPU_PORT};
+pub use hop::{plan_crossing, CrossingPlan};
 pub use qos::{FiveQi, ResourceType};
 pub use supervision::{PathEvent, PathEventKind, PathSupervisor, SupervisionConfig};
 pub use upf::{Upf, UpfError, UplinkOutcome};

@@ -178,7 +178,7 @@ pub fn decode_short_bsr(ce: &Bytes) -> Result<(u8, Option<u32>), MacError> {
 /// C-RNTI, sent in Msg3 during contention-based re-access so the gNB can
 /// route the re-establishment request to the existing UE context.
 pub fn encode_c_rnti(rnti: u16) -> Bytes {
-    Bytes::from(rnti.to_be_bytes().to_vec())
+    Bytes::copy_from_slice(&rnti.to_be_bytes())
 }
 
 /// Decodes a C-RNTI control element.

@@ -93,19 +93,20 @@ impl PdcpStatusReport {
     /// bitmap where bit `7-j` of byte `i` marks COUNT `fmc + 1 + 8i + j`
     /// as received.
     pub fn encode(&self) -> Bytes {
+        // The bitmap is written straight into the output buffer — no
+        // intermediate Vec to allocate and re-copy.
+        const HDR: usize = 5; // D/C+type byte, 4-byte FMC
         let mut out = vec![0x00];
         out.extend_from_slice(&self.fmc.to_be_bytes());
-        let mut bitmap: Vec<u8> = Vec::new();
         for &c in &self.received {
             debug_assert!(c > self.fmc);
             let off = (c - self.fmc - 1) as usize;
-            let byte = off / 8;
-            if bitmap.len() <= byte {
-                bitmap.resize(byte + 1, 0);
+            let byte = HDR + off / 8;
+            if out.len() <= byte {
+                out.resize(byte + 1, 0);
             }
-            bitmap[byte] |= 0x80 >> (off % 8);
+            out[byte] |= 0x80 >> (off % 8);
         }
-        out.extend_from_slice(&bitmap);
         Bytes::from(out)
     }
 
@@ -294,7 +295,9 @@ impl PdcpEntity {
             self.discarded += 1;
             return Ok(Vec::new());
         }
-        let mut body = pdu.slice(2..).to_vec();
+        // Copy straight out of the shared buffer — `slice(2..)` would clone
+        // the Arc only to be copied out of again.
+        let mut body = pdu[2..].to_vec();
         cipher(&self.config, count, true, &mut body);
         self.reorder.insert(count, Bytes::from(body));
         if count >= self.rx_next {
@@ -414,7 +417,7 @@ mod tests {
         let (mut tx, mut rx) = pair();
         // Push across the 12-bit wrap.
         for i in 0..(SN_MODULUS + 10) {
-            let sdu = Bytes::from(i.to_be_bytes().to_vec());
+            let sdu = Bytes::copy_from_slice(&i.to_be_bytes());
             let pdu = tx.tx_encode(&sdu);
             let out = rx.rx_decode(&pdu).unwrap();
             assert_eq!(out, vec![sdu], "at count {i}");

@@ -530,7 +530,7 @@ mod tests {
         let n = u64::from(AM_SN_MODULUS) + 50;
         let mut delivered = 0u64;
         for i in 0..n {
-            a.tx_sdu(Bytes::from(i.to_be_bytes().to_vec()));
+            a.tx_sdu(Bytes::copy_from_slice(&i.to_be_bytes()));
             for pdu in drain(&mut a) {
                 delivered += b.rx_pdu(&pdu).unwrap().delivered.len() as u64;
             }

@@ -14,7 +14,7 @@
 
 use ran::sched::{AccessMode, Scheduler, SchedulerConfig};
 use serde::Serialize;
-use sim::{Dist, Duration, Instant, LatencyRecorder, SimRng};
+use sim::{Dist, Duration, EventQueue, Instant, LatencyRecorder, SimRng};
 
 use crate::config::StackConfig;
 
@@ -72,14 +72,22 @@ pub fn coexistence_sweep(
                 dl_slot_capacity: capacity,
                 ..SchedulerConfig::ideal(base.duplex.clone(), AccessMode::GrantFree)
             });
+            // Pre-schedule the Poisson arrivals on an event queue (the
+            // scheduler itself draws no RNG, so sampling them all up front
+            // leaves the draw sequence unchanged), then drain in fire
+            // order like every other experiment in this crate.
             let mut rng = SimRng::from_seed(seed).stream("coexistence");
             let inter = Dist::Exponential { mean: Duration::from_millis(2) };
-            let mut latency = LatencyRecorder::new();
-            let mut embb_bytes_lost = 0u64;
+            let mut arrivals = EventQueue::new();
             let mut t = Instant::ZERO;
-            let mut last_boundary = 0u64;
             for _ in 0..packets {
                 t += inter.sample(&mut rng);
+                arrivals.push(t, ());
+            }
+            let mut latency = LatencyRecorder::new();
+            let mut embb_bytes_lost = 0u64;
+            let mut last_boundary = 0u64;
+            while let Some((t, ())) = arrivals.pop() {
                 sched.on_dl_data(1, urllc_bytes, t);
                 let boundary = (base.duplex.slot_index_at(t) + 1).max(last_boundary);
                 last_boundary = boundary;

@@ -17,15 +17,14 @@
 //! experiment asserts byte-exact delivery and counts radio-deadline misses.
 
 use bytes::Bytes;
-use corenet::{PathEvent, PathSupervisor};
+use corenet::{plan_crossing, PathEvent, PathSupervisor};
 use radio::{RadioHead, TxRing};
-use ran::sched::{AccessMode, Rnti, Scheduler};
-use ran::sr::SrProcedure;
+use ran::sched::{Rnti, Scheduler};
 use ran::RrcEntity;
 use serde::{Deserialize, Serialize};
 use sim::{
-    Dist, Duration, FaultAttribution, FaultInjector, FaultKind, Instant, LatencyRecorder,
-    PingFaultTrace, SimRng, StreamingStats, Summary,
+    Dist, Duration, EventQueue, FaultAttribution, FaultInjector, FaultKind, Instant,
+    LatencyRecorder, PingFaultTrace, SimRng, StreamingStats, Summary,
 };
 
 use telemetry::{JournalEvent, Telemetry, TelemetrySummary};
@@ -33,6 +32,7 @@ use telemetry::{JournalEvent, Telemetry, TelemetrySummary};
 use crate::config::StackConfig;
 use crate::journey::{PingTrace, StageSpan};
 use crate::node::{GnbStack, UeStack};
+use crate::pipeline::{HopChain, HopFx, HopOutcome, PingCtx, PingEvent, Side};
 use crate::stage_labels as labels;
 
 /// gNB-side per-layer statistics (Table 2).
@@ -188,36 +188,40 @@ impl ExperimentResult {
     }
 }
 
-/// The experiment driver.
+/// The experiment driver: owns the layer entities, the per-stream RNGs
+/// and the shared event queue; the per-ping walk itself lives in the
+/// [`crate::pipeline`] hop chain.
 pub struct PingExperiment {
-    config: StackConfig,
-    link: Option<channel::Fr1Link>,
-    sched: Scheduler,
-    ue: UeStack,
-    gnb: GnbStack,
-    gnb_radio: RadioHead,
-    ue_radio: RadioHead,
-    ring: TxRing,
-    rng_arrival: SimRng,
-    rng_gnb: SimRng,
-    rng_ue: SimRng,
-    rng_net: SimRng,
-    injector: FaultInjector,
-    rrc: RrcEntity,
-    supervisor: PathSupervisor,
-    traces_wanted: usize,
-    tel: Telemetry,
+    pub(crate) config: StackConfig,
+    pub(crate) link: Option<channel::Fr1Link>,
+    pub(crate) sched: Scheduler,
+    pub(crate) ue: UeStack,
+    pub(crate) gnb: GnbStack,
+    pub(crate) gnb_radio: RadioHead,
+    pub(crate) ue_radio: RadioHead,
+    pub(crate) ring: TxRing,
+    pub(crate) rng_arrival: SimRng,
+    pub(crate) rng_gnb: SimRng,
+    pub(crate) rng_ue: SimRng,
+    pub(crate) rng_net: SimRng,
+    pub(crate) injector: FaultInjector,
+    pub(crate) rrc: RrcEntity,
+    pub(crate) supervisor: PathSupervisor,
+    pub(crate) traces_wanted: usize,
+    pub(crate) tel: Telemetry,
+    /// The shared future-event queue every ping episode drains.
+    pub(crate) events: EventQueue<PingEvent>,
     /// Sequence number of the ping currently in flight (journal context).
-    ping: u64,
+    pub(crate) ping: u64,
 }
 
 /// The UE's RNTI and address in every experiment.
-const RNTI: Rnti = 17;
-const UE_ADDR: u32 = 0x0A00_0001;
+pub(crate) const RNTI: Rnti = 17;
+pub(crate) const UE_ADDR: u32 = 0x0A00_0001;
 const KEY: u64 = 0x005E_C2E7;
 /// Bound on scheduling retries per ping (grant withholding / starvation);
 /// a ping that cannot be scheduled within this many rounds is lost.
-const MAX_SCHED_ROUNDS: u32 = 64;
+pub(crate) const MAX_SCHED_ROUNDS: u32 = 64;
 
 /// Outcome of one HARQ cycle over a transport block.
 struct HarqCycle {
@@ -252,6 +256,7 @@ impl PingExperiment {
             supervisor: PathSupervisor::new(config.supervision),
             traces_wanted: 3,
             tel: Telemetry::disabled(),
+            events: EventQueue::new(),
             ping: 0,
             gnb,
             config,
@@ -315,12 +320,13 @@ impl PingExperiment {
     /// consistent when a parallel run merges batch results.
     fn run_span(&mut self, start: u64, len: u64, spacing: Duration) -> ExperimentResult {
         let mut result = ExperimentResult::default();
+        let chain = HopChain::standard();
         let period = self.config.duplex.pattern_period();
         let offset_dist = Dist::Uniform { lo: Duration::ZERO, hi: period };
         for i in start..start + len {
             let base = Instant::ZERO + spacing * i + period; // skip slot 0 warm-up
             let arrival = base + offset_dist.sample(&mut self.rng_arrival);
-            self.one_ping(i, arrival, &mut result);
+            self.one_ping(&chain, i, arrival, &mut result);
         }
         result.underruns = self.ring.stats().underruns;
         result.path_failovers = self.supervisor.failovers();
@@ -330,11 +336,14 @@ impl PingExperiment {
         result
     }
 
-    fn sample_gnb(&mut self, which: fn(&ran::timing::LayerTimings) -> &Dist) -> Duration {
+    pub(crate) fn sample_gnb(
+        &mut self,
+        which: fn(&ran::timing::LayerTimings) -> &Dist,
+    ) -> Duration {
         which(&self.config.gnb_timings).sample(&mut self.rng_gnb)
     }
 
-    fn sample_ue(&mut self, which: fn(&ran::timing::LayerTimings) -> &Dist) -> Duration {
+    pub(crate) fn sample_ue(&mut self, which: fn(&ran::timing::LayerTimings) -> &Dist) -> Duration {
         which(&self.config.ue_timings).sample(&mut self.rng_ue)
     }
 
@@ -342,7 +351,7 @@ impl PingExperiment {
     /// at the radio (`samples_ready + submit`) before the air time, and —
     /// when a grant pinned the resources — no earlier than the granted
     /// slot.
-    fn ul_tx_start(
+    pub(crate) fn ul_tx_start(
         &mut self,
         samples_ready: Instant,
         submit: Duration,
@@ -428,7 +437,7 @@ impl PingExperiment {
     /// cycle) when the HARQ budget runs out, radio link failure when the
     /// RLC budget is exhausted too. Returns the extra delay on success;
     /// on RLF, the time wasted before the budgets ran dry.
-    fn data_delivery(
+    pub(crate) fn data_delivery(
         &mut self,
         dl_data: bool,
         at: Instant,
@@ -470,7 +479,7 @@ impl PingExperiment {
     /// re-established link can carry the retransmission, the start of the
     /// data-recovery exchange (for the "PDCP recover" trace span), and the
     /// fresh MAC PDUs; `None` when the connection could not come back.
-    fn recover_rlf(
+    pub(crate) fn recover_rlf(
         &mut self,
         dl: bool,
         at: Instant,
@@ -530,92 +539,33 @@ impl PingExperiment {
         Some((reestablished + status_rtt, reestablished, pdus))
     }
 
-    /// Delivers one transport block with RLF recovery: on radio-link
-    /// failure the re-establishment machinery runs and the recovered
-    /// (PDCP-retransmitted) block is retried over the fresh link, until
-    /// delivery or until the connection budget dies. Returns the delivery
-    /// instant plus the recovered MAC PDUs when a recovery happened — the
-    /// byte path must decode those instead of the originals, because both
-    /// RLC entities restarted their numbering.
-    #[allow(clippy::too_many_arguments)]
-    fn deliver_with_recovery(
-        &mut self,
-        dl: bool,
-        ping: u64,
-        first_air_end: Instant,
-        air: Duration,
-        grant_bytes: usize,
-        spans: &mut Vec<StageSpan>,
-        result: &mut ExperimentResult,
-        ftrace: &mut PingFaultTrace,
-    ) -> Option<(Instant, Option<Vec<Bytes>>)> {
-        let mut tx_end = first_air_end;
-        let mut recovered_pdus = None;
-        // (span start, RLF instant) of the recovery whose retransmission
-        // is currently in flight.
-        let mut pending: Option<(Instant, Instant)> = None;
-        loop {
-            match self.data_delivery(dl, tx_end, result, ftrace) {
-                Ok(extra) => {
-                    let done = tx_end + extra;
-                    if let Some((span_start, failed_at)) = pending {
-                        spans.push(StageSpan::new(labels::PDCP_RECOVER, span_start, done));
-                        result.recovery.record(done - failed_at);
-                        if let Some(kind) = ftrace.dominant() {
-                            ftrace.record(kind, done - failed_at);
-                        }
-                    }
-                    return Some((done, recovered_pdus));
-                }
-                Err(wasted) => {
-                    let failed_at = tx_end + wasted;
-                    if let Some((span_start, prev_failed)) = pending.take() {
-                        // The retried block died too: close the previous
-                        // recovery's ledger at this new failure.
-                        spans.push(StageSpan::new(labels::PDCP_RECOVER, span_start, failed_at));
-                        result.recovery.record(failed_at - prev_failed);
-                    }
-                    result.rlf.push(RlfEvent {
-                        ping,
-                        dl,
-                        dominant: ftrace.dominant(),
-                        recovered: false,
-                    });
-                    self.tel.journal(JournalEvent::Rlf { ping, dl, at: failed_at });
-                    let (resume, span_start, pdus) =
-                        self.recover_rlf(dl, failed_at, grant_bytes, spans, result)?;
-                    if let Some(ev) = result.rlf.last_mut() {
-                        ev.recovered = true;
-                    }
-                    recovered_pdus = Some(pdus);
-                    pending = Some((span_start, failed_at));
-                    tx_end = resume + air;
-                }
-            }
-        }
-    }
-
     /// One N3 traversal under GTP-U path supervision: the injected path
     /// process decides whether the primary is forwarding, the supervisor
     /// charges the probe/backoff detection sequence to the traversal that
     /// discovers an outage, and the chosen link's latency is sampled —
     /// exactly one `rng_net` draw either way, so fault-free runs stay
     /// byte-identical to the unsupervised baseline.
-    fn backbone_traverse(
+    pub(crate) fn backbone_traverse(
         &mut self,
         at: Instant,
         result: &mut ExperimentResult,
         ftrace: &mut PingFaultTrace,
     ) -> Duration {
         let primary_down = self.injector.path_down();
-        let (on_backup, detection) = self.supervisor.traverse(at, primary_down);
-        if detection > Duration::ZERO {
-            ftrace.record(FaultKind::PathFailure, detection);
-            self.tel.record("corenet", "detection_us", detection);
+        let plan = plan_crossing(
+            &mut self.supervisor,
+            at,
+            primary_down,
+            &self.config.backbone,
+            self.config.backup_backbone.as_ref(),
+        );
+        if plan.discovered_outage() {
+            ftrace.record(FaultKind::PathFailure, plan.detection);
+            self.tel.record("corenet", "detection_us", plan.detection);
             self.tel.journal(JournalEvent::FaultInjected {
                 kind: FaultKind::PathFailure,
                 at,
-                extra: detection,
+                extra: plan.detection,
             });
             // Validate the freshly adopted path with a real GTP-U echo
             // round trip through the UPF (type 1 → type 2, sequence
@@ -624,501 +574,62 @@ impl PingExperiment {
                 result.integrity_failures += 1;
             }
         }
-        let link = match (on_backup, self.config.backup_backbone.as_ref()) {
-            (true, Some(backup)) => backup,
-            // No backup provisioned: the outage stalls on the primary.
-            _ => &self.config.backbone,
-        };
-        let n3 = link.sample(&mut self.rng_net);
+        let n3 = plan.link.sample(&mut self.rng_net);
         self.tel.record("corenet", "n3_us", n3);
-        detection + n3
+        plan.detection + n3
     }
 
-    fn one_ping(&mut self, id: u64, t0: Instant, result: &mut ExperimentResult) {
-        let mut trace = PingTrace::new(id);
-        let mut ftrace = PingFaultTrace::new();
+    /// One ping episode on the shared event queue: seed the arrival,
+    /// then pop-and-dispatch through the hop chain until the walk
+    /// declares the ping delivered or lost. The driver is the single
+    /// scheduler (hops only *return* emissions) and the single span
+    /// journaler, so cross-cutting effects stay in one place.
+    fn one_ping(&mut self, chain: &HopChain, id: u64, t0: Instant, result: &mut ExperimentResult) {
         self.ping = id;
-        self.ping_flow(t0, result, &mut trace, &mut ftrace);
+        let mut ctx = PingCtx::new(id, t0);
+        self.events.clear();
+        self.events.rewind(t0);
+        self.events.push(t0, PingEvent::Arrival);
+        while let Some((at, ev)) = self.events.pop() {
+            let mut fx = HopFx::new();
+            chain.dispatch(self, &mut ctx, result, at, ev, &mut fx);
+            for (side, span) in fx.spans {
+                match side {
+                    Side::Ul => ctx.trace.ul.push(span),
+                    Side::Dl => ctx.trace.dl.push(span),
+                }
+            }
+            for (t, e) in fx.emits {
+                self.events.push(t, e);
+            }
+            match fx.outcome {
+                HopOutcome::Continue => {}
+                HopOutcome::Lost => {
+                    result.attribution.record_lost(ctx.ftrace.dominant());
+                    self.events.clear();
+                }
+                HopOutcome::Done => self.events.clear(),
+            }
+        }
+        // A clamped (inverted) span anywhere in this ping's walk becomes a
+        // telemetry counter instead of a panic; never recorded when zero.
+        let inverted = crate::journey::take_inverted_spans();
+        if inverted > 0 {
+            self.tel.count("journey", "span_inverted", inverted);
+        }
         // Journal the journey (every ping, not just the kept traces: the
         // ring buffer decides what survives).
         if self.tel.is_enabled() {
-            for s in &trace.ul {
-                self.tel.journal(JournalEvent::Stage {
-                    ping: id,
-                    dl: false,
-                    label: s.label,
-                    start: s.start,
-                    end: s.end,
-                });
+            for s in &ctx.trace.ul {
+                self.tel.journal_stage(id, false, s.label, s.start, s.end);
             }
-            for s in &trace.dl {
-                self.tel.journal(JournalEvent::Stage {
-                    ping: id,
-                    dl: true,
-                    label: s.label,
-                    start: s.start,
-                    end: s.end,
-                });
+            for s in &ctx.trace.dl {
+                self.tel.journal_stage(id, true, s.label, s.start, s.end);
             }
         }
         if result.traces.len() < self.traces_wanted {
-            result.traces.push(trace);
+            result.traces.push(ctx.trace);
         }
-    }
-
-    /// The journey itself. Early returns are lost pings: the wrapper
-    /// still journals and keeps whatever trace accumulated.
-    fn ping_flow(
-        &mut self,
-        t0: Instant,
-        result: &mut ExperimentResult,
-        trace: &mut PingTrace,
-        ftrace: &mut PingFaultTrace,
-    ) {
-        let id = self.ping;
-        // Pings are spaced far apart: a connection that survived to the
-        // next ping has been stable long enough for the re-establishment
-        // counters to clear, so the budget bounds one incident chain.
-        self.rrc.reset_budget();
-        let payload = Bytes::from(make_payload(id, self.config.payload_bytes));
-        let cfg = self.config.clone();
-        let nu = cfg.duplex.numerology();
-
-        // ---------- UPLINK (request) ----------
-        // ① APP↓: UE walks the packet down to the RLC queue.
-        let ue_upper =
-            self.sample_ue(|t| &t.sdap) + self.sample_ue(|t| &t.pdcp) + self.sample_ue(|t| &t.rlc);
-        let in_rlc = t0 + ue_upper;
-        trace.ul.push(StageSpan::new(labels::APP_DOWN, t0, in_rlc));
-
-        // Build the actual MAC PDU(s) now (content is time-independent).
-        let grant_bytes = cfg.grant_bytes();
-        let mac_pdus = self.ue.encode_uplink(&payload, grant_bytes).expect("uplink encode");
-        let mac_pdu = mac_pdus[0].clone();
-        let ul_samples = self.ue.phy_sample_count(mac_pdu.len());
-
-        // ② SR → ⑤ grant (grant-based only). The outcome of this block is
-        // `(samples_ready, granted_slot)`: when samples are at the UE PHY
-        // and, for granted access, which slot the resources live in. The UE
-        // MAC/PHY preparation is pipelined with the protocol waits — the
-        // modem builds the transport block while waiting for its slot.
-        let ue_phy = self.sample_ue(|t| &t.phy);
-        let ue_submit = self.ue_radio.tx_radio_latency(ul_samples as u64, &mut self.rng_ue);
-        let (samples_ready, granted_slot) = match cfg.access {
-            AccessMode::GrantFree => {
-                // UE MAC prepares the transmission directly.
-                let mac_t = self.sample_ue(|t| &t.mac);
-                (in_rlc + mac_t + ue_phy, None)
-            }
-            AccessMode::GrantBased => {
-                // SR transmits at UL opportunities until the gNB hears one.
-                // A PUCCH loss (injected) costs one opportunity per retry;
-                // sr-TransMax exhaustion falls back to the four-step RACH
-                // (TS 38.321 §5.4.4), whose Msg3 carries the buffer status.
-                let sr_air = nu.symbol_offset(1); // one-symbol PUCCH SR
-                let mut sr_proc = SrProcedure::new(cfg.sr);
-                sr_proc.trigger(in_rlc);
-                let mut probe = in_rlc;
-                let mut sr_ready = None;
-                while sr_ready.is_none() {
-                    let sr_op = cfg.duplex.next_ul_opportunity(probe);
-                    if sr_proc.maybe_transmit(sr_op.slot, sr_op.tx_start) {
-                        if self.injector.sr_lost() {
-                            let next = cfg
-                                .duplex
-                                .next_ul_opportunity(cfg.duplex.slot_start(sr_op.slot + 1));
-                            ftrace.record(FaultKind::SrLoss, next.tx_start - sr_op.tx_start);
-                            result.sr_retx += 1;
-                            self.tel.count("mac", "sr_retx", 1);
-                            self.tel.journal(JournalEvent::SrAttempt {
-                                ping: id,
-                                at: sr_op.tx_start,
-                                lost: true,
-                            });
-                            probe = cfg.duplex.slot_start(sr_op.slot + 1);
-                            continue;
-                        }
-                        let sr_rx = sr_op.tx_start + sr_air;
-                        self.tel.journal(JournalEvent::SrAttempt {
-                            ping: id,
-                            at: sr_op.tx_start,
-                            lost: false,
-                        });
-                        trace.ul.push(StageSpan::new(labels::WAIT_UL_SLOT, in_rlc, sr_op.tx_start));
-                        trace.ul.push(StageSpan::new(labels::SR, sr_op.tx_start, sr_rx));
-                        // gNB decodes the SR: PHY + MAC.
-                        let d_phy = self.sample_gnb(|t| &t.phy);
-                        let d_mac = self.sample_gnb(|t| &t.mac);
-                        result.layers.phy.push(d_phy.as_micros_f64());
-                        result.layers.mac.push(d_mac.as_micros_f64());
-                        self.tel.record("phy", "proc_us", d_phy);
-                        self.tel.record("mac", "proc_us", d_mac);
-                        let ready = sr_rx + d_phy + d_mac;
-                        trace.ul.push(StageSpan::new(labels::SR_DECODE, sr_rx, ready));
-                        sr_ready = Some(ready);
-                    } else if sr_proc.needs_rach() {
-                        let giving_up = sr_op.tx_start;
-                        match ran::rach::recovery_latency(
-                            &cfg.rach,
-                            giving_up,
-                            1,
-                            self.injector.recovery_rng(),
-                        ) {
-                            Some(lat) => {
-                                result.rach_recoveries += 1;
-                                self.tel.count("mac", "rach_recoveries", 1);
-                                ftrace.record(FaultKind::SrLoss, lat);
-                                trace.ul.push(StageSpan::new(
-                                    labels::RACH,
-                                    giving_up,
-                                    giving_up + lat,
-                                ));
-                                sr_proc.on_rach_complete();
-                                sr_ready = Some(giving_up + lat);
-                            }
-                            None => {
-                                // Random access failed too: the UE never
-                                // regains uplink access for this packet.
-                                result.attribution.record_lost(ftrace.dominant());
-                                return;
-                            }
-                        }
-                    } else {
-                        probe = cfg.duplex.slot_start(sr_op.slot + 1);
-                    }
-                }
-                let sr_ready = sr_ready.expect("loop exits with a value");
-                // Scheduling happens once per slot: next boundary. A
-                // withheld grant (injected starvation) is a DCI the UE
-                // never decodes; the gNB re-grants once the slot goes
-                // unused.
-                self.sched.on_sr(RNTI, sr_ready);
-                let mut boundary_slot = cfg.duplex.slot_index_at(sr_ready) + 1;
-                let mut grant = None;
-                let mut first_withheld: Option<Instant> = None;
-                for _ in 0..MAX_SCHED_ROUNDS {
-                    let decision = self.sched.run_slot(boundary_slot);
-                    let Some(g) = decision.ul_grants.first().copied() else {
-                        boundary_slot += 1;
-                        continue;
-                    };
-                    if self.injector.grant_withheld() {
-                        result.grants_withheld += 1;
-                        self.tel.count("mac", "grants_withheld", 1);
-                        self.tel.journal(JournalEvent::FaultInjected {
-                            kind: FaultKind::GrantWithheld,
-                            at: g.grant_tx,
-                            extra: Duration::ZERO,
-                        });
-                        first_withheld = first_withheld.or(Some(g.grant_tx));
-                        let retry = cfg.duplex.slot_start(g.ul.slot + 1);
-                        self.sched.on_sr(RNTI, retry);
-                        boundary_slot = cfg.duplex.slot_index_at(retry) + 1;
-                        continue;
-                    }
-                    grant = Some(g);
-                    break;
-                }
-                let Some(grant) = grant else {
-                    // Starved out of the scheduler entirely.
-                    ftrace.record(
-                        FaultKind::GrantWithheld,
-                        cfg.duplex.slot_start(boundary_slot) - first_withheld.unwrap_or(sr_ready),
-                    );
-                    result.attribution.record_lost(ftrace.dominant());
-                    return;
-                };
-                if let Some(first) = first_withheld {
-                    ftrace.record(FaultKind::GrantWithheld, grant.grant_tx - first);
-                }
-                trace.ul.push(StageSpan::new(
-                    labels::SCHE,
-                    sr_ready,
-                    cfg.duplex.slot_start(boundary_slot),
-                ));
-                let dci_air = nu.symbol_offset(2); // two-symbol CORESET
-                let grant_rx = grant.grant_tx + dci_air;
-                self.tel.journal(JournalEvent::Grant {
-                    ping: id,
-                    at: grant_rx,
-                    bytes: grant_bytes,
-                });
-                trace.ul.push(StageSpan::new(labels::UL_GRANT, grant.grant_tx, grant_rx));
-                // UE decodes the grant and prepares (MAC + PHY).
-                let prep = self.sample_ue(|t| &t.mac);
-                let ue_ready = grant_rx + prep + ue_phy;
-                trace.ul.push(StageSpan::new(labels::UE_PREP, grant_rx, ue_ready));
-                (ue_ready, Some(grant.ul.slot))
-            }
-        };
-
-        // ⑥ Transmit the UL data in the granted/next reachable opportunity.
-        let tx_start =
-            self.ul_tx_start(samples_ready, ue_submit, granted_slot, &mut result.missed_grants);
-        trace.ul.push(StageSpan::new(labels::WAIT_UL_SLOT, samples_ready.min(tx_start), tx_start));
-        let air = cfg.data_air_time(mac_pdu.len());
-        let tx_end = tx_start + air;
-        trace.ul.push(StageSpan::new(labels::UL_DATA, tx_start, tx_end));
-
-        // ⑦ gNB receives: radio, PHY, MAC↑, RLC, PDCP, SDAP, then GTP-U.
-        // Channel loss first costs HARQ rounds (§8's retransmission
-        // steps), then RLC AM escalations, then — with every budget
-        // exhausted — radio link failure. RLF no longer drops the packet:
-        // the RRC re-establishment machinery runs and the recovered block
-        // is retried, so the ping's latency grows by the recovery detour.
-        let Some((tx_end, recovered_ul)) = self.deliver_with_recovery(
-            false,
-            id,
-            tx_end,
-            air,
-            cfg.grant_bytes(),
-            &mut trace.ul,
-            result,
-            ftrace,
-        ) else {
-            result.attribution.record_lost(ftrace.dominant());
-            return;
-        };
-        let rx_radio = self.gnb_radio.rx_radio_latency(ul_samples as u64, &mut self.rng_gnb);
-        // An OS-jitter storm on the fronthaul stalls the receive thread.
-        let storm = self.injector.storm_delay();
-        let host_rx = tx_end + rx_radio + storm;
-        if storm > Duration::ZERO {
-            ftrace.record(FaultKind::JitterStorm, storm);
-            self.tel.record("radio", "storm_us", storm);
-            self.tel.journal(JournalEvent::FaultInjected {
-                kind: FaultKind::JitterStorm,
-                at: host_rx,
-                extra: storm,
-            });
-        }
-        trace.ul.push(StageSpan::new(labels::RADIO, tx_end, host_rx));
-        let d_phy = self.sample_gnb(|t| &t.phy);
-        let d_mac = self.sample_gnb(|t| &t.mac);
-        let d_rlc = self.sample_gnb(|t| &t.rlc);
-        let d_pdcp = self.sample_gnb(|t| &t.pdcp);
-        let d_sdap = self.sample_gnb(|t| &t.sdap);
-        result.layers.phy.push(d_phy.as_micros_f64());
-        result.layers.mac.push(d_mac.as_micros_f64());
-        result.layers.rlc.push(d_rlc.as_micros_f64());
-        result.layers.pdcp.push(d_pdcp.as_micros_f64());
-        result.layers.sdap.push(d_sdap.as_micros_f64());
-        self.tel.record("phy", "proc_us", d_phy);
-        self.tel.record("mac", "proc_us", d_mac);
-        self.tel.record("rlc", "proc_us", d_rlc);
-        self.tel.record("pdcp", "proc_us", d_pdcp);
-        self.tel.record("sdap", "proc_us", d_sdap);
-        let decoded_at = host_rx + d_phy + d_mac + d_rlc + d_pdcp + d_sdap;
-        trace.ul.push(StageSpan::new(labels::MAC_UP, host_rx, decoded_at));
-
-        // Actually decode the bytes (through PHY samples) and check them.
-        // After a recovery, both RLC entities restarted their numbering
-        // and the in-flight SDU was PDCP-retransmitted: the recovered MAC
-        // PDUs are what actually crossed the air.
-        let mac_pdus = recovered_ul.unwrap_or(mac_pdus);
-        let air_samples = self.ue.phy_encode(&mac_pdus[0]);
-        let decoded = self
-            .gnb
-            .phy_decode(RNTI, &air_samples)
-            .ok()
-            .and_then(|pdu| self.gnb.decode_uplink(RNTI, &pdu).ok());
-        let mut delivered_ok = matches!(&decoded, Some(v) if v.first() == Some(&payload));
-        // Push any remaining segments through (tiny grants).
-        if !delivered_ok {
-            if let Some(mut got) = decoded {
-                for extra in &mac_pdus[1..] {
-                    let s = self.ue.phy_encode(extra);
-                    if let Ok(pdu) = self.gnb.phy_decode(RNTI, &s) {
-                        if let Ok(more) = self.gnb.decode_uplink(RNTI, &pdu) {
-                            got.extend(more);
-                        }
-                    }
-                }
-                delivered_ok = got.first() == Some(&payload);
-            }
-        }
-        if !delivered_ok {
-            result.integrity_failures += 1;
-        }
-
-        let spike = self.injector.backbone_spike();
-        if spike > Duration::ZERO {
-            ftrace.record(FaultKind::BackboneSpike, spike);
-            self.tel.journal(JournalEvent::FaultInjected {
-                kind: FaultKind::BackboneSpike,
-                at: decoded_at,
-                extra: spike,
-            });
-        }
-        let net = self.backbone_traverse(decoded_at, result, ftrace) + spike;
-        let ul_done = decoded_at + net;
-        trace.ul.push(StageSpan::new(labels::UPF, decoded_at, ul_done));
-        result.ul.record(ul_done - t0);
-
-        // ---------- DOWNLINK (reply) ----------
-        // ⑧ The server replies immediately; the reply reaches the gNB.
-        let dl_t0 = ul_done;
-        let spike = self.injector.backbone_spike();
-        if spike > Duration::ZERO {
-            ftrace.record(FaultKind::BackboneSpike, spike);
-            self.tel.journal(JournalEvent::FaultInjected {
-                kind: FaultKind::BackboneSpike,
-                at: dl_t0,
-                extra: spike,
-            });
-        }
-        let net = self.backbone_traverse(dl_t0, result, ftrace) + spike;
-        let at_gnb = dl_t0 + net;
-        let d_sdap = self.sample_gnb(|t| &t.sdap);
-        let d_pdcp = self.sample_gnb(|t| &t.pdcp);
-        let d_rlc = self.sample_gnb(|t| &t.rlc);
-        result.layers.sdap.push(d_sdap.as_micros_f64());
-        result.layers.pdcp.push(d_pdcp.as_micros_f64());
-        result.layers.rlc.push(d_rlc.as_micros_f64());
-        self.tel.record("sdap", "proc_us", d_sdap);
-        self.tel.record("pdcp", "proc_us", d_pdcp);
-        self.tel.record("rlc", "proc_us", d_rlc);
-        let in_rlc_q = at_gnb + d_sdap + d_pdcp + d_rlc;
-        trace.dl.push(StageSpan::new(labels::SDAP_DOWN, at_gnb, in_rlc_q));
-
-        // Build the DL MAC PDU(s).
-        let reply = Bytes::from(make_payload(id | 0x8000_0000_0000_0000, cfg.payload_bytes));
-        let (_rnti, dl_pdus) = self
-            .gnb
-            .encode_downlink(UE_ADDR, &reply, cfg.slot_capacity_bytes())
-            .expect("downlink encode");
-        let dl_pdu = dl_pdus[0].clone();
-        let dl_samples = phy::transport::sample_count(
-            phy::transport::ShChConfig { modulation: phy::modulation::Modulation::Qpsk, c_init: 0 },
-            dl_pdu.len(),
-        );
-
-        // ⑨ RLC queue: wait for the next scheduling round. The MAC pulls
-        // the data from the RLC queue when it builds the transport block,
-        // which (srsRAN-style) happens one slot before the air time — that
-        // pull instant ends the Table 2 "RLC-q" interval.
-        self.sched.on_dl_data(RNTI, dl_pdu.len(), in_rlc_q);
-        let mut boundary_slot = cfg.duplex.slot_index_at(in_rlc_q) + 1;
-        let mut assignment = None;
-        for _ in 0..MAX_SCHED_ROUNDS {
-            let decision = self.sched.run_slot(boundary_slot);
-            if let Some(a) = decision.dl_assignments.first().copied() {
-                assignment = Some(a);
-                break;
-            }
-            boundary_slot += 1;
-        }
-        let Some(assign) = assignment else {
-            // The scheduler never served the reply: the ping is lost.
-            result.attribution.record_lost(ftrace.dominant());
-            return;
-        };
-        let dl_tx = assign.dl.tx_start;
-        let decision_time = cfg.duplex.slot_start(boundary_slot);
-        // The configured DL pull point ends the RLC-q interval: either the
-        // decision's slot worker builds the TB immediately (srsRAN's
-        // pipeline), or the build is deferred to a fixed number of slots
-        // before the air time, never before the decision itself.
-        let tb_build = match cfg.dl_pull {
-            crate::config::DlPullPoint::AtDecision => decision_time,
-            crate::config::DlPullPoint::SlotsBeforeAir(slots) => decision_time
-                .max(dl_tx.saturating_sub(cfg.duplex.slot_duration().saturating_mul(slots))),
-        };
-        result.layers.rlcq.push((tb_build - in_rlc_q).as_micros_f64());
-        self.tel.record("rlc", "queue_us", tb_build - in_rlc_q);
-        trace.dl.push(StageSpan::new(labels::RLC_Q, in_rlc_q, tb_build));
-
-        // ⑩ MAC/PHY prepare the slot and submit samples to the radio; they
-        // must beat the air time (§4's margin, §6's reliability risk).
-        let d_mac = self.sample_gnb(|t| &t.mac);
-        let d_phy = self.sample_gnb(|t| &t.phy);
-        result.layers.mac.push(d_mac.as_micros_f64());
-        result.layers.phy.push(d_phy.as_micros_f64());
-        self.tel.record("mac", "proc_us", d_mac);
-        self.tel.record("phy", "proc_us", d_phy);
-        let submit = self.gnb_radio.tx_radio_latency(dl_samples as u64, &mut self.rng_gnb);
-        // A fronthaul storm stalls the submission thread — exactly the §4
-        // failure mode: samples that miss their slot corrupt it.
-        let storm = self.injector.storm_delay();
-        let samples_at_rh = tb_build + d_mac + d_phy + submit + storm;
-        if storm > Duration::ZERO {
-            self.tel.record("radio", "storm_us", storm);
-            self.tel.journal(JournalEvent::FaultInjected {
-                kind: FaultKind::JitterStorm,
-                at: samples_at_rh,
-                extra: storm,
-            });
-        }
-        let outcome = self.ring.submit(samples_at_rh, dl_tx);
-        let dl_tx = if outcome.is_on_time() {
-            if storm > Duration::ZERO {
-                ftrace.record(FaultKind::JitterStorm, Duration::ZERO);
-            }
-            dl_tx
-        } else {
-            // Underrun: the slot is corrupted; retransmit at the next DL
-            // opportunity the samples can make.
-            let retry = cfg.duplex.next_dl_opportunity(samples_at_rh).tx_start;
-            if storm > Duration::ZERO {
-                ftrace.record(FaultKind::JitterStorm, retry - dl_tx);
-            }
-            retry
-        };
-        let air = cfg.data_air_time(dl_pdu.len());
-        trace.dl.push(StageSpan::new(labels::DL_DATA, dl_tx, dl_tx + air));
-        let Some((dl_rx_end, recovered_dl)) = self.deliver_with_recovery(
-            true,
-            id,
-            dl_tx + air,
-            air,
-            cfg.slot_capacity_bytes(),
-            &mut trace.dl,
-            result,
-            ftrace,
-        ) else {
-            result.attribution.record_lost(ftrace.dominant());
-            return;
-        };
-
-        // ⑪ UE receives and walks the packet up to the application.
-        let ue_rx_radio = self.ue_radio.rx_radio_latency(dl_samples as u64, &mut self.rng_ue);
-        let ue_phy = self.sample_ue(|t| &t.phy);
-        let ue_upper =
-            self.sample_ue(|t| &t.rlc) + self.sample_ue(|t| &t.pdcp) + self.sample_ue(|t| &t.sdap);
-        let delivered = dl_rx_end + ue_rx_radio + ue_phy + ue_upper;
-        trace.dl.push(StageSpan::new(labels::PHY_UP, dl_rx_end, delivered));
-
-        // Decode the actual bytes (the recovered PDUs when an RLF detour
-        // re-established the bearer mid-reply).
-        let dl_pdus = recovered_dl.unwrap_or(dl_pdus);
-        let air_samples = self.gnb.phy_encode(RNTI, &dl_pdus[0]);
-        let got = self
-            .ue
-            .phy_decode(&air_samples)
-            .ok()
-            .and_then(|pdu| self.ue.decode_downlink(&pdu).ok());
-        let mut ok = matches!(&got, Some(v) if v.first() == Some(&reply));
-        if !ok {
-            if let Some(mut v) = got {
-                for extra in &dl_pdus[1..] {
-                    let s = self.gnb.phy_encode(RNTI, extra);
-                    if let Ok(pdu) = self.ue.phy_decode(&s) {
-                        if let Ok(more) = self.ue.decode_downlink(&pdu) {
-                            v.extend(more);
-                        }
-                    }
-                }
-                ok = v.first() == Some(&reply);
-            }
-        }
-        if !ok {
-            result.integrity_failures += 1;
-        }
-
-        result.dl.record(delivered - dl_t0);
-        let rtt = delivered - t0;
-        result.rtt.record(rtt);
-        result.attribution.record_delivered(rtt <= cfg.deadline, ftrace.dominant());
     }
 }
 
@@ -1206,14 +717,14 @@ fn run_sharded(
 }
 
 /// Deterministic ICMP-echo-like payload for ping `id`.
-fn make_payload(id: u64, len: usize) -> Vec<u8> {
+pub(crate) fn make_payload(id: u64, len: usize) -> Bytes {
     let mut v = Vec::with_capacity(len);
     v.extend_from_slice(&id.to_be_bytes());
     while v.len() < len {
         v.push((v.len() as u8).wrapping_mul(31) ^ id as u8);
     }
     v.truncate(len.max(8));
-    v
+    Bytes::from(v)
 }
 
 #[cfg(test)]

@@ -19,10 +19,32 @@ pub struct StageSpan {
     pub end: Instant,
 }
 
+thread_local! {
+    /// Spans created with `end < start` since the last
+    /// [`take_inverted_spans`] drain. Thread-local so parallel sweep
+    /// shards (one shard per thread) each tally their own inversions.
+    static INVERTED_SPANS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Drains this thread's inverted-span tally (returns it, resets to zero).
+///
+/// The experiment driver folds the tally into the `journey/span_inverted`
+/// telemetry counter per ping, so a fault-path inversion degrades one trace
+/// instead of aborting an entire release sweep.
+pub fn take_inverted_spans() -> u64 {
+    INVERTED_SPANS.with(|c| c.replace(0))
+}
+
 impl StageSpan {
-    /// Creates a span.
+    /// Creates a span. An inverted span (`end < start`, which only a buggy
+    /// fault/recovery path can produce) is clamped to zero width at `start`
+    /// and tallied for the `journey/span_inverted` telemetry counter rather
+    /// than panicking.
     pub fn new(label: &'static str, start: Instant, end: Instant) -> StageSpan {
-        assert!(end >= start, "stage {label} ends before it starts");
+        if end < start {
+            INVERTED_SPANS.with(|c| c.set(c.get() + 1));
+            return StageSpan { label, start, end: start };
+        }
         StageSpan { label, start, end }
     }
 
@@ -151,8 +173,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "ends before it starts")]
-    fn rejects_negative_span() {
-        StageSpan::new("bad", us(10), us(5));
+    fn inverted_span_clamps_to_start_and_is_counted() {
+        take_inverted_spans(); // drain any tally left by sibling tests
+        let s = StageSpan::new("bad", us(10), us(5));
+        assert_eq!(s.start, us(10));
+        assert_eq!(s.end, us(10));
+        assert_eq!(s.duration(), Duration::ZERO);
+        assert_eq!(take_inverted_spans(), 1);
+        // Drained: the counter resets, and well-formed spans don't tally.
+        let _ = StageSpan::new("ok", us(5), us(10));
+        assert_eq!(take_inverted_spans(), 0);
     }
 }

@@ -16,6 +16,9 @@
 //! * [`experiment`] — the end-to-end ping experiment: per-direction latency
 //!   distributions (Fig 6), per-layer processing statistics (Table 2),
 //!   radio deadline bookkeeping (§6 reliability);
+//! * [`pipeline`] — the event-driven stage pipeline: the ping walk as a
+//!   declarative chain of named hops on one shared `sim::EventQueue`, with
+//!   faults and telemetry layered on as decorators;
 //! * [`stage_labels`] — the canonical Fig-3 stage vocabulary shared by
 //!   traces, telemetry keys and the deadline-budget auditor;
 //! * [`multi_ue`] — the §9 scalability experiment: uplink latency and
@@ -29,6 +32,7 @@ pub mod experiment;
 pub mod journey;
 pub mod multi_ue;
 pub mod node;
+pub mod pipeline;
 pub mod stage_labels;
 
 pub use coexistence::{coexistence_sweep, CoexistencePoint, CoexistencePolicy};
@@ -39,4 +43,5 @@ pub use experiment::{
 };
 pub use journey::{PingTrace, StageSpan};
 pub use multi_ue::{run_multi_ue, scalability_sweep, MultiUeConfig, MultiUeResult};
-pub use node::{GnbStack, UeStack};
+pub use node::{GnbStack, StackError, UeStack};
+pub use pipeline::{Hop, HopChain, HopFx, HopId, HopOutcome, PingCtx, PingEvent, Side};

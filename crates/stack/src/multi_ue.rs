@@ -20,10 +20,11 @@
 
 use ran::sched::{AccessMode, Scheduler, SchedulerConfig};
 use serde::Serialize;
-use sim::{Dist, Duration, Instant, LatencyRecorder, SimRng};
+use sim::{Dist, Duration, EventQueue, Instant, LatencyRecorder, SimRng};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::config::StackConfig;
+use crate::node::StackError;
 
 /// Configuration of the scalability experiment.
 #[derive(Debug, Clone)]
@@ -69,17 +70,22 @@ pub struct MultiUeResult {
     pub rotation_period: Option<u64>,
 }
 
-/// Runs the experiment.
-pub fn run_multi_ue(config: &MultiUeConfig) -> MultiUeResult {
+/// Runs the experiment. A configuration whose load cannot drain its own
+/// scheduler (or whose opportunity rotation never cycles) surfaces as
+/// [`StackError::Diverged`] instead of aborting the whole sweep.
+pub fn run_multi_ue(config: &MultiUeConfig) -> Result<MultiUeResult, StackError> {
     match config.base.access {
         AccessMode::GrantFree => run_grant_free(config),
         AccessMode::GrantBased => run_grant_based(config),
     }
 }
 
-/// Builds the sorted list of `(arrival, ue)` events.
-fn arrivals(config: &MultiUeConfig, rng: &SimRng) -> Vec<(Instant, usize)> {
-    let mut events = Vec::new();
+/// Schedules every UE's Poisson arrivals on one event queue. Per-UE times
+/// ascend and UEs are pushed in index order, so the queue's `(time, FIFO)`
+/// pop order is exactly the old sorted `(arrival, ue)` sweep — but the
+/// arrivals now share the same future-event machinery as the ping walk.
+fn arrival_queue(config: &MultiUeConfig, rng: &SimRng) -> EventQueue<usize> {
+    let mut queue = EventQueue::new();
     for ue in 0..config.n_ues {
         let mut r = rng.stream_indexed("ue-arrivals", ue as u64);
         let inter = Dist::Exponential { mean: config.mean_interval };
@@ -88,11 +94,10 @@ fn arrivals(config: &MultiUeConfig, rng: &SimRng) -> Vec<(Instant, usize)> {
             + Dist::Uniform { lo: Duration::ZERO, hi: config.mean_interval }.sample(&mut r);
         for _ in 0..config.packets_per_ue {
             t += inter.sample(&mut r);
-            events.push((t, ue));
+            queue.push(t, ue);
         }
     }
-    events.sort();
-    events
+    queue
 }
 
 /// Mean UE-side prep (upper layers + MAC + PHY) for latency accounting.
@@ -108,7 +113,7 @@ fn gnb_decode(config: &MultiUeConfig) -> Duration {
     )
 }
 
-fn run_grant_free(config: &MultiUeConfig) -> MultiUeResult {
+fn run_grant_free(config: &MultiUeConfig) -> Result<MultiUeResult, StackError> {
     let duplex = &config.base.duplex;
     let capacity = config.base.slot_capacity_bytes();
     let grant = config.base.grant_bytes();
@@ -123,7 +128,8 @@ fn run_grant_free(config: &MultiUeConfig) -> MultiUeResult {
     let mut used_pairs: BTreeSet<(usize, u64)> = BTreeSet::new();
     let mut horizon = Instant::ZERO;
 
-    for (arrival, ue) in arrivals(config, &rng) {
+    let mut queue = arrival_queue(config, &rng);
+    while let Some((arrival, ue)) = queue.pop() {
         let ready = arrival + prep;
         // The UE's owned opportunities are every `rotation`-th UL
         // opportunity, offset by its index.
@@ -136,7 +142,12 @@ fn run_grant_free(config: &MultiUeConfig) -> MultiUeResult {
             op = duplex.next_ul_opportunity(duplex.slot_start(op.slot + 1));
             op_index = op.slot;
             guard += 1;
-            assert!(guard < 10_000, "rotation search diverged");
+            if guard >= 10_000 {
+                return Err(StackError::Diverged(format!(
+                    "rotation search found no owned opportunity for ue {ue} \
+                     (rotation {rotation}) within 10000 slots"
+                )));
+            }
         }
         let done = op.tx_start + config.base.data_air_time(config.base.payload_bytes + 32) + decode;
         ul.record(done - arrival);
@@ -150,7 +161,7 @@ fn run_grant_free(config: &MultiUeConfig) -> MultiUeResult {
     let owned_per_ue = total_ul_ops / rotation;
     let owned_total = owned_per_ue * config.n_ues as u64;
     let wasted = owned_total.saturating_sub(used_pairs.len() as u64);
-    MultiUeResult {
+    Ok(MultiUeResult {
         n_ues: config.n_ues,
         ul,
         wasted_fraction: Some(if owned_total == 0 {
@@ -159,7 +170,7 @@ fn run_grant_free(config: &MultiUeConfig) -> MultiUeResult {
             wasted as f64 / owned_total as f64
         }),
         rotation_period: Some(rotation),
-    }
+    })
 }
 
 /// Ordinal of the UL opportunity carried by `slot` (how many UL-capable
@@ -183,7 +194,7 @@ fn count_ul_ops(duplex: &phy::duplex::Duplex, horizon: Instant) -> u64 {
     ul_op_ordinal(duplex, slots)
 }
 
-fn run_grant_based(config: &MultiUeConfig) -> MultiUeResult {
+fn run_grant_based(config: &MultiUeConfig) -> Result<MultiUeResult, StackError> {
     let duplex = config.base.duplex.clone();
     let mut sched_cfg: SchedulerConfig = config.base.scheduler_config();
     sched_cfg.access = AccessMode::GrantBased;
@@ -212,7 +223,8 @@ fn run_grant_based(config: &MultiUeConfig) -> MultiUeResult {
     };
 
     let mut last_boundary = 0u64;
-    for (arrival, ue) in arrivals(config, &rng) {
+    let mut queue = arrival_queue(config, &rng);
+    while let Some((arrival, ue)) = queue.pop() {
         let ready = arrival + prep;
         // SR: one bit in the next UL opportunity (no contention).
         let sr_op = duplex.next_ul_opportunity(ready);
@@ -230,25 +242,36 @@ fn run_grant_based(config: &MultiUeConfig) -> MultiUeResult {
         last_boundary += 1;
         serve(sched.run_slot(last_boundary), &mut outstanding, &mut ul);
         guard += 1;
-        assert!(guard < 100_000, "scheduler failed to drain");
+        if guard >= 100_000 {
+            return Err(StackError::Diverged(format!(
+                "scheduler holds {} SRs it cannot drain within 100000 flush rounds \
+                 ({} UEs over-saturate the cell)",
+                sched.backlog().0,
+                config.n_ues,
+            )));
+        }
     }
 
-    MultiUeResult { n_ues: config.n_ues, ul, wasted_fraction: None, rotation_period: None }
+    Ok(MultiUeResult { n_ues: config.n_ues, ul, wasted_fraction: None, rotation_period: None })
 }
 
 /// Sweeps the UE population, returning one result per point. Points are
 /// evaluated in parallel; each seeds its own RNG from `seed`, so the sweep
-/// is bit-identical regardless of worker count.
+/// is bit-identical regardless of worker count. The first diverging point
+/// fails the whole sweep (points are independent, so one divergence means
+/// the configuration itself is bad, not the neighbours).
 pub fn scalability_sweep(
     access: AccessMode,
     populations: &[usize],
     seed: u64,
-) -> Vec<MultiUeResult> {
+) -> Result<Vec<MultiUeResult>, StackError> {
     sim::parallel::run_shards(populations.len(), |i| {
         let mut cfg = MultiUeConfig::testbed(access, populations[i]);
         cfg.base = cfg.base.with_seed(seed);
         run_multi_ue(&cfg)
     })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]
@@ -257,7 +280,8 @@ mod tests {
 
     #[test]
     fn grant_free_latency_is_flat_then_grows() {
-        let results = scalability_sweep(AccessMode::GrantFree, &[1, 4, 16, 64, 256], 1);
+        let results =
+            scalability_sweep(AccessMode::GrantFree, &[1, 4, 16, 64, 256], 1).expect("converges");
         let means: Vec<f64> = results
             .iter()
             .map(|r| {
@@ -280,7 +304,8 @@ mod tests {
         // §5's two costs, visible at the two ends of the sweep: with few
         // UEs most pre-allocated opportunities idle (waste); with many UEs
         // the rotation period grows (latency). You cannot win both.
-        let results = scalability_sweep(AccessMode::GrantFree, &[1, 32, 128], 2);
+        let results =
+            scalability_sweep(AccessMode::GrantFree, &[1, 32, 128], 2).expect("converges");
         let waste: Vec<f64> = results.iter().map(|r| r.wasted_fraction.unwrap()).collect();
         assert!(waste[0] > 0.8, "sparse traffic should idle most allocations: {waste:?}");
         assert!(waste[0] > waste[2], "saturation uses up the pool: {waste:?}");
@@ -291,8 +316,8 @@ mod tests {
     fn grant_based_scales_more_gracefully_but_starts_higher() {
         // Compare within the stable-load region (the cell carries ~3.5
         // grants/ms; 48 UEs at one packet per 20 ms offer ~2.4/ms).
-        let gf = scalability_sweep(AccessMode::GrantFree, &[1, 48], 3);
-        let gb = scalability_sweep(AccessMode::GrantBased, &[1, 48], 3);
+        let gf = scalability_sweep(AccessMode::GrantFree, &[1, 48], 3).expect("converges");
+        let gb = scalability_sweep(AccessMode::GrantBased, &[1, 48], 3).expect("converges");
         let mean = |r: &MultiUeResult| {
             let mut rec = r.ul.clone();
             rec.summary().mean_us
@@ -312,14 +337,14 @@ mod tests {
     fn all_packets_are_recorded() {
         let mut cfg = MultiUeConfig::testbed(AccessMode::GrantFree, 8);
         cfg.packets_per_ue = 20;
-        let r = run_multi_ue(&cfg);
+        let r = run_multi_ue(&cfg).expect("converges");
         assert_eq!(r.ul.count(), 8 * 20);
     }
 
     #[test]
     fn deterministic_under_seed() {
-        let a = scalability_sweep(AccessMode::GrantFree, &[16], 9);
-        let b = scalability_sweep(AccessMode::GrantFree, &[16], 9);
+        let a = scalability_sweep(AccessMode::GrantFree, &[16], 9).expect("converges");
+        let b = scalability_sweep(AccessMode::GrantFree, &[16], 9).expect("converges");
         assert_eq!(a[0].wasted_fraction, b[0].wasted_fraction);
         let (mut ra, mut rb) = (a[0].ul.clone(), b[0].ul.clone());
         assert_eq!(ra.summary(), rb.summary());

@@ -44,6 +44,9 @@ pub enum StackError {
     Core(String),
     /// The UE is not attached at the gNB.
     UnknownRnti(Rnti),
+    /// A simulation loop exceeded its progress guard — the configuration
+    /// cannot drain its own load (e.g. scheduler saturation).
+    Diverged(String),
 }
 
 impl core::fmt::Display for StackError {
@@ -56,6 +59,7 @@ impl core::fmt::Display for StackError {
             StackError::Phy(e) => write!(f, "PHY: {e}"),
             StackError::Core(e) => write!(f, "core: {e}"),
             StackError::UnknownRnti(r) => write!(f, "unknown RNTI {r}"),
+            StackError::Diverged(e) => write!(f, "diverged: {e}"),
         }
     }
 }

@@ -13,7 +13,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use sim::Duration;
+use sim::{Duration, Instant};
 
 use crate::journal::{EventJournal, JournalEvent};
 use crate::registry::{MetricKey, MetricsRegistry, MetricsSnapshot};
@@ -95,6 +95,19 @@ impl Telemetry {
     /// Appends an event to the journal.
     pub fn journal(&self, event: JournalEvent) {
         self.with(|t| t.journal.push(event));
+    }
+
+    /// Journals one Fig-3 journey stage — the span-emission entry point
+    /// used by the stack's telemetry decorator.
+    pub fn journal_stage(
+        &self,
+        ping: u64,
+        dl: bool,
+        label: &'static str,
+        start: Instant,
+        end: Instant,
+    ) {
+        self.journal(JournalEvent::Stage { ping, dl, label, start, end });
     }
 
     /// Snapshot of all metrics (empty when disabled).

@@ -106,6 +106,7 @@ fn analytic_sweeps_are_worker_count_invariant() {
             .collect();
         let scale: Vec<(Vec<f64>, Option<f64>)> =
             stack::scalability_sweep(AccessMode::GrantFree, &[1, 8, 32], 11)
+                .expect("sweep converges")
                 .iter()
                 .map(|r| (r.ul.samples_us().to_vec(), r.wasted_fraction))
                 .collect();
