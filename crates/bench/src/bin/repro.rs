@@ -21,8 +21,11 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use radio::{InterfaceKind, RadioHead, RadioHeadConfig};
 use ran::sched::AccessMode;
-use sim::{Duration, SimRng};
-use stack::{PingExperiment, StackConfig};
+use sim::{ArrivalProcess, Duration, SimRng};
+use stack::{
+    run_overload, service_capacity_pps, DropReason, NullHook, OverloadConfig, OverloadReport,
+    PingExperiment, StackConfig,
+};
 use urllc_bench::report::{
     ascii_histogram, ascii_series, bench_json, bench_log, bench_records_len, bench_truncate,
     bench_wall, summarize_chaos_recovery, to_csv, write_artifact,
@@ -82,6 +85,7 @@ fn main() {
         "coexist" => timed("coexist", coexist),
         "chaos" => timed("chaos", || chaos(pings)),
         "recovery" => timed("recovery", || recovery(pings)),
+        "overload" => timed("overload", overload),
         "metrics" => timed("metrics", || metrics(pings)),
         "trace" => timed("trace", || trace(pings, perfetto_out.clone())),
         "all" => {
@@ -104,12 +108,13 @@ fn main() {
             timed("coexist", coexist);
             timed("chaos", || chaos(pings));
             timed("recovery", || recovery(pings));
+            timed("overload", overload);
             timed("metrics", || metrics(pings));
             timed("trace", || trace(pings, perfetto_out.clone()));
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|harq|rach|sixg|coexist|chaos|recovery|metrics|trace|all [--pings N] [--perfetto out.json] [--jobs N] [--compare]");
+            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|harq|rach|sixg|coexist|chaos|recovery|overload|metrics|trace|all [--pings N] [--perfetto out.json] [--jobs N] [--compare]");
             std::process::exit(2);
         }
     }
@@ -829,6 +834,183 @@ fn recovery(pings: u64) {
         vec!["sim_path_probes_lost".into(), path_res.path_probes.1.to_string()],
     ];
     save("recovery.csv", &to_csv(&["quantity", "value"], &rows));
+}
+
+/// `repro overload` — the open-loop offered-load ladder: Poisson and bursty
+/// (MMPP2) arrivals swept across ρ, with and without the SLO supervisor,
+/// over an eMBB background. Each point runs as its own shard with a
+/// point-indexed RNG stream, so `overload.csv` is byte-identical at any
+/// `--jobs`. Sub-saturation Poisson points are cross-checked against the
+/// closed-form M/D/1 mean queueing wait.
+fn overload() {
+    banner("Overload — offered-load ladder with typed drops and degradation");
+    let stack = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(11);
+    let wire = stack.payload_bytes + 3; // + PDCP (2) + RLC (1) headers
+    let mu = service_capacity_pps(&stack, wire);
+    let horizon = Duration::from_millis(400);
+    let period = stack.duplex.pattern_period();
+    println!("DL service capacity: {mu:.0} packets/s ({wire} B wire, {period} TDD pattern)");
+
+    let rhos = [0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.2, 1.4];
+    let points: Vec<(&str, bool, f64)> = ["poisson", "mmpp"]
+        .into_iter()
+        .flat_map(|p| [false, true].map(move |slo| (p, slo)))
+        .flat_map(|(p, slo)| rhos.map(move |rho| (p, slo, rho)))
+        .collect();
+
+    // One shard per ladder point; the per-point report plus the governed
+    // supervisor's transition count.
+    let reports: Vec<(OverloadReport, usize)> = sim::parallel::run_shards(points.len(), |i| {
+        let (process, slo, rho) = points[i];
+        let lambda = rho * mu;
+        let arrivals = match process {
+            "poisson" => ArrivalProcess::poisson_pps(lambda),
+            _ => ArrivalProcess::bursty_pps(lambda, 8.0, 0.2, Duration::from_millis(2)),
+        };
+        let mut cfg = OverloadConfig::testbed(stack.clone(), arrivals, horizon);
+        // Best-effort background competing for leftover slot budget.
+        cfg.embb = Some((ArrivalProcess::poisson_pps(500.0), 1200));
+        let rng = SimRng::from_seed(stack.seed).stream_indexed("overload", i as u64);
+        let tel = telemetry::Telemetry::disabled();
+        if slo {
+            let mut sup = urllc_core::SloSupervisor::new(urllc_core::SloConfig::default());
+            let r = run_overload(&cfg, &rng, &mut sup, &tel);
+            (r, sup.transitions().len())
+        } else {
+            let mut hook = NullHook;
+            (run_overload(&cfg, &rng, &mut hook, &tel), 0)
+        }
+    });
+
+    let mut header: Vec<String> = [
+        "process",
+        "slo",
+        "rho",
+        "offered_pps",
+        "offered",
+        "delivered",
+        "goodput",
+        "miss_rate",
+        "p50_us",
+        "p99_us",
+        "p999_us",
+        "mean_queue_us",
+        "md1_wq_us",
+        "in_band",
+        "in_flight",
+    ]
+    .map(String::from)
+    .to_vec();
+    header.extend(DropReason::ALL.map(|r| format!("drop_{}", r.label().replace('-', "_"))));
+    header.extend(
+        [
+            "peak_pdcp_pkts",
+            "peak_rlc_bytes",
+            "peak_harq_tbs",
+            "degraded_frac",
+            "critical_frac",
+            "slo_transitions",
+            "embb_sent_bytes",
+            "embb_shed_bytes",
+        ]
+        .map(String::from),
+    );
+
+    println!(
+        "{:>8} {:>4} {:>5} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>7} {:>6} {:>6}",
+        "process",
+        "slo",
+        "rho",
+        "offered",
+        "goodput",
+        "miss",
+        "p99[us]",
+        "queue[us]",
+        "md1[us]",
+        "drops",
+        "deg%",
+        "trans"
+    );
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut md1_violations = 0usize;
+    for ((process, slo, rho), (r, transitions)) in points.iter().zip(&reports) {
+        let lambda = rho * mu;
+        let model = urllc_core::Md1Model::new(lambda, mu);
+        // The closed form assumes Poisson arrivals; bursty points get the
+        // wait column for reference but are never judged against the band.
+        let poisson = *process == "poisson";
+        let wq_us = model.mean_wait().map(|w| w.as_micros_f64());
+        let in_band = if poisson {
+            let ok = model.wait_in_band(r.mean_queue_wait, period);
+            if !ok {
+                md1_violations += 1;
+            }
+            ok.to_string()
+        } else {
+            String::new()
+        };
+        let q = |p: f64| r.latency.quantile(p) as f64 / 1_000.0;
+        let deg = r.degraded_slots as f64 / r.total_slots.max(1) as f64;
+        let crit = r.critical_slots as f64 / r.total_slots.max(1) as f64;
+        println!(
+            "{process:>8} {:>4} {rho:>5.2} {:>9.0} {:>8.3} {:>8.4} {:>9.1} {:>9.1} {:>7} {:>6} {:>5.1}% {:>5}",
+            if *slo { "on" } else { "off" },
+            lambda,
+            r.goodput_ratio(),
+            r.miss_rate(),
+            q(0.99),
+            r.mean_queue_wait.as_micros_f64(),
+            wq_us.map_or("sat".into(), |w| format!("{w:.1}")),
+            r.drops.total(),
+            (deg + crit) * 100.0,
+            transitions,
+        );
+        assert!(r.conserved(), "packet conservation violated at {process} rho {rho}");
+        assert!(r.embb_conserved(), "eMBB byte ledger violated at {process} rho {rho}");
+        let mut row = vec![
+            (*process).to_string(),
+            if *slo { "on".into() } else { "off".into() },
+            format!("{rho:.2}"),
+            format!("{lambda:.1}"),
+            r.offered.to_string(),
+            r.delivered.to_string(),
+            format!("{:.5}", r.goodput_ratio()),
+            format!("{:.5}", r.miss_rate()),
+            format!("{:.1}", q(0.5)),
+            format!("{:.1}", q(0.99)),
+            format!("{:.1}", q(0.999)),
+            format!("{:.1}", r.mean_queue_wait.as_micros_f64()),
+            wq_us.map_or(String::new(), |w| format!("{w:.1}")),
+            in_band,
+            r.in_flight.to_string(),
+        ];
+        row.extend(DropReason::ALL.map(|reason| r.drops.get(reason).to_string()));
+        row.extend([
+            r.peak_pdcp_queue.to_string(),
+            r.peak_rlc_bytes.to_string(),
+            r.peak_harq_backlog.to_string(),
+            format!("{deg:.4}"),
+            format!("{crit:.4}"),
+            transitions.to_string(),
+            r.embb_sent_bytes.to_string(),
+            r.embb_shed_bytes.to_string(),
+        ]);
+        rows.push(row);
+    }
+    println!(
+        "sub-saturation Poisson mean waits inside the M/D/1 band: {}",
+        if md1_violations == 0 { "YES" } else { "NO" }
+    );
+    let governed_engaged = points
+        .iter()
+        .zip(&reports)
+        .any(|((_, slo, rho), (r, _))| *slo && *rho > 1.0 && r.degraded_slots > 0);
+    println!(
+        "SLO supervisor engaged past saturation: {}",
+        if governed_engaged { "YES" } else { "NO" }
+    );
+    let headers: Vec<&str> = header.iter().map(String::as_str).collect();
+    save("overload.csv", &to_csv(&headers, &rows));
 }
 
 /// `repro metrics` — one instrumented chaotic run; dumps the cross-layer

@@ -29,7 +29,11 @@
 //!   cross-checked against the stack simulation;
 //! * [`design`] — design-space search over numerology × pattern × access ×
 //!   radio × kernel, quantifying §5's conclusion that "the set of possible
-//!   system designs is quite limited".
+//!   system designs is quite limited";
+//! * [`queueing`] — the closed-form M/D/1 bound cross-checking the
+//!   open-loop overload sweep's sub-saturation queueing delay;
+//! * [`slo`] — the windowed, hysteresis-guarded SLO supervisor that drives
+//!   `stack::overload`'s graceful degradation.
 
 pub mod audit;
 pub mod decompose;
@@ -37,8 +41,10 @@ pub mod design;
 pub mod feasibility;
 pub mod formats;
 pub mod model;
+pub mod queueing;
 pub mod recovery;
 pub mod reliability;
+pub mod slo;
 pub mod worst_case;
 
 pub use audit::{audit_traces, BudgetAudit};
@@ -47,6 +53,8 @@ pub use design::{DesignPoint, DesignSearch, DesignVerdict};
 pub use feasibility::{feasibility_table, paper_table1, FeasibilityTable};
 pub use formats::{format_survey, FormatVerdict};
 pub use model::{AccessScheme, ConfigUnderTest, ProcessingBudget};
+pub use queueing::Md1Model;
 pub use recovery::RecoveryLatencyModel;
 pub use reliability::{deadline_miss_probability, margin_sweep, ChaosMissModel, ReliabilityPoint};
+pub use slo::{SloConfig, SloSupervisor, SloTransition};
 pub use worst_case::{worst_case, Direction, WorstCase};

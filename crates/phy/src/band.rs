@@ -69,6 +69,9 @@ impl Band {
 
     /// The band used by the paper's testbed (§7): n78, TDD, FR1.
     pub fn n78() -> Band {
+        // Invariant: "n78" is a `TABLE` constant, so the lookup cannot fail.
+        // Kept as a lookup (rather than a second literal) so this preset can
+        // never drift from the table; `n78_is_tdd_fr1` pins it in tests.
         Band::by_name("n78").expect("n78 in table")
     }
 

@@ -153,18 +153,21 @@ impl Duplex {
                     Direction::Downlink => SlotKind::has_dl,
                 };
                 let slot = c.next_slot_where(from, pred);
-                match dir {
-                    Direction::Uplink => TxOpportunity {
-                        slot,
-                        tx_start: c.ul_start_in_slot(slot).expect("slot has UL"),
-                        tx_duration: c.ul_duration_in_slot(slot),
-                    },
-                    Direction::Downlink => TxOpportunity {
-                        slot,
-                        tx_start: c.dl_start_in_slot(slot).expect("slot has DL"),
-                        tx_duration: c.dl_duration_in_slot(slot),
-                    },
-                }
+                let (tx_start, tx_duration) = match dir {
+                    Direction::Uplink => (c.ul_start_in_slot(slot), c.ul_duration_in_slot(slot)),
+                    Direction::Downlink => (c.dl_start_in_slot(slot), c.dl_duration_in_slot(slot)),
+                };
+                // `slot` was selected by `next_slot_where` with the matching
+                // direction predicate, so the direction's symbols exist in
+                // it and `tx_start` is `Some`; the slot-boundary fallback
+                // keeps this hot path panic-free should the pattern cache
+                // ever disagree with the predicate.
+                debug_assert!(
+                    tx_start.is_some(),
+                    "next_slot_where returned a slot without {dir:?}"
+                );
+                let tx_start = tx_start.unwrap_or_else(|| self.slot_start(slot));
+                TxOpportunity { slot, tx_start, tx_duration }
             }
         }
     }
@@ -195,7 +198,7 @@ impl Duplex {
     }
 }
 
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 enum Direction {
     Uplink,
     Downlink,

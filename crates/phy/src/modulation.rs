@@ -130,15 +130,16 @@ impl Modulation {
     }
 
     /// Hard-decision demaps one sample to its bit group (minimum Euclidean
-    /// distance over the constellation).
+    /// distance over the constellation). An empty constellation demaps to
+    /// group 0; callers pass [`Self::constellation`], which always holds
+    /// `2^Qm` points.
     pub fn demap(self, sample: Iq, constellation: &[(u32, Iq)]) -> u32 {
         constellation
             .iter()
-            .min_by(|a, b| {
-                sample.dist2(a.1).partial_cmp(&sample.dist2(b.1)).expect("distances are finite")
-            })
-            .expect("constellation is non-empty")
-            .0
+            // total_cmp: squared distances are never NaN, and a total order
+            // keeps this hot path free of unwrap/expect either way.
+            .min_by(|a, b| sample.dist2(a.1).total_cmp(&sample.dist2(b.1)))
+            .map_or(0, |(v, _)| *v)
     }
 
     /// Demodulates samples back to bits (hard decisions).

@@ -37,7 +37,7 @@ pub mod sr;
 pub mod timing;
 
 pub use harq::{HarqConfig, HarqEntity};
-pub use mac::{MacPdu, MacSubPdu};
+pub use mac::{MacBacklog, MacPdu, MacSubPdu};
 pub use pdcp::PdcpStatusReport;
 pub use pdcp::{PdcpConfig, PdcpEntity};
 pub use rach::{simulate_contention, RachConfig};

@@ -33,6 +33,13 @@ pub enum MacError {
     Truncated,
     /// A subPDU payload exceeds the 16-bit length field.
     PayloadTooLarge,
+    /// The bounded MAC backlog is at capacity (overload protection).
+    BacklogFull {
+        /// PDUs already queued when the push arrived.
+        queued: usize,
+        /// Configured backlog capacity in PDUs.
+        cap: usize,
+    },
 }
 
 impl core::fmt::Display for MacError {
@@ -40,6 +47,9 @@ impl core::fmt::Display for MacError {
         match self {
             MacError::Truncated => write!(f, "MAC PDU truncated"),
             MacError::PayloadTooLarge => write!(f, "subPDU payload exceeds 65535 bytes"),
+            MacError::BacklogFull { queued, cap } => {
+                write!(f, "MAC backlog full ({queued} PDUs queued, cap {cap})")
+            }
         }
     }
 }
@@ -189,6 +199,86 @@ pub fn decode_c_rnti(ce: &Bytes) -> Result<u16, MacError> {
     Ok(u16::from_be_bytes([ce[0], ce[1]]))
 }
 
+/// A bounded FIFO of MAC-level work (transport blocks awaiting HARQ
+/// retransmission, assembled PDUs awaiting air time). Under overload the
+/// queue tail-drops with a typed error instead of growing without bound —
+/// the MAC-layer leg of the drop taxonomy.
+#[derive(Debug, Clone)]
+pub struct MacBacklog<T> {
+    queue: std::collections::VecDeque<T>,
+    cap: usize,
+    dropped_full: u64,
+    peak: usize,
+}
+
+impl<T> MacBacklog<T> {
+    /// A backlog holding at most `cap` entries (min 1).
+    pub fn new(cap: usize) -> MacBacklog<T> {
+        let cap = cap.max(1);
+        MacBacklog {
+            queue: std::collections::VecDeque::with_capacity(cap),
+            cap,
+            dropped_full: 0,
+            peak: 0,
+        }
+    }
+
+    /// Enqueues, tail-dropping with [`MacError::BacklogFull`] at capacity.
+    pub fn push(&mut self, item: T) -> Result<(), MacError> {
+        if self.queue.len() >= self.cap {
+            self.dropped_full += 1;
+            return Err(MacError::BacklogFull { queued: self.queue.len(), cap: self.cap });
+        }
+        self.queue.push_back(item);
+        self.peak = self.peak.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Pops the oldest entry.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// The oldest entry, without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Entries tail-dropped at capacity so far.
+    pub fn dropped_full(&self) -> u64 {
+        self.dropped_full
+    }
+
+    /// Highest occupancy observed (bounded-memory evidence for the
+    /// overload sweep's CSV).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Drops entries failing `keep`, returning how many were removed
+    /// (deadline-expiry shedding under SLO degradation).
+    pub fn prune<F: FnMut(&T) -> bool>(&mut self, mut keep: F) -> usize {
+        let before = self.queue.len();
+        self.queue.retain(|item| keep(item));
+        before - self.queue.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +396,27 @@ mod tests {
         let ce = encode_short_bsr(0, 15);
         let (_, bound) = decode_short_bsr(&ce).unwrap();
         assert_eq!(bound, Some(20)); // 14 < 15 <= 20
+    }
+
+    #[test]
+    fn backlog_tail_drops_at_capacity_and_tracks_peak() {
+        let mut b = MacBacklog::new(2);
+        assert!(b.push(1u32).is_ok());
+        assert!(b.push(2).is_ok());
+        assert_eq!(b.push(3).unwrap_err(), MacError::BacklogFull { queued: 2, cap: 2 });
+        assert_eq!(b.dropped_full(), 1);
+        assert_eq!(b.peak(), 2);
+        assert_eq!(b.pop(), Some(1));
+        assert!(b.push(4).is_ok());
+        assert_eq!(b.pop(), Some(2));
+        assert_eq!(b.pop(), Some(4));
+        assert!(b.is_empty());
+        // prune removes entries failing the predicate.
+        for i in 0..2 {
+            b.push(i).unwrap();
+        }
+        assert_eq!(b.prune(|&x| x != 0), 1);
+        assert_eq!(b.len(), 1);
     }
 
     #[test]

@@ -15,7 +15,8 @@
 use bytes::Bytes;
 use phy::scrambling::GoldSequence;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use sim::{Duration, Instant};
+use std::collections::{BTreeMap, VecDeque};
 use telemetry::Telemetry;
 
 /// PDCP sequence-number length in bits (this implementation fixes the
@@ -170,6 +171,17 @@ pub struct PdcpEntity {
     tx_pending: BTreeMap<u32, Bytes>,
     /// SDUs retransmitted through status-report recovery.
     retransmitted: u64,
+    /// discardTimer (TS 38.323 §5.5): SDUs older than this are dropped
+    /// from the transmission queue before ever reaching RLC. `None`
+    /// disables expiry (the spec's `infinity` value).
+    discard_timer: Option<Duration>,
+    /// Transmission queue for the timed path: SDUs awaiting a lower-layer
+    /// pull, each carrying the COUNT assigned at enqueue and its expiry
+    /// deadline. COUNT-at-enqueue means a discarded SDU leaves an SN gap
+    /// on the wire, exactly as the spec's receiver sees it.
+    tx_queue: VecDeque<(u32, Option<Instant>, Bytes)>,
+    /// SDUs dropped by discardTimer expiry.
+    discard_expired: u64,
     tel: Telemetry,
 }
 
@@ -185,6 +197,9 @@ impl PdcpEntity {
             discarded: 0,
             tx_pending: BTreeMap::new(),
             retransmitted: 0,
+            discard_timer: None,
+            tx_queue: VecDeque::new(),
+            discard_expired: 0,
             tel: Telemetry::disabled(),
         }
     }
@@ -328,6 +343,69 @@ impl PdcpEntity {
             self.rx_deliv += 1;
         }
         out
+    }
+
+    /// Configures the discardTimer for the timed transmission path
+    /// ([`tx_enqueue`](Self::tx_enqueue) / [`pull_tx`](Self::pull_tx)).
+    /// `None` means SDUs never expire.
+    pub fn set_discard_timer(&mut self, timer: Option<Duration>) {
+        self.discard_timer = timer;
+    }
+
+    /// Enqueues an SDU on the timed transmission path, assigning its COUNT
+    /// immediately (TS 38.323 associates the COUNT at SDU reception, so a
+    /// later discard leaves an SN gap). The PDU itself is built when a
+    /// lower-layer grant pulls it via [`pull_tx`](Self::pull_tx). Returns
+    /// the assigned COUNT.
+    pub fn tx_enqueue(&mut self, now: Instant, sdu: Bytes) -> u32 {
+        let count = self.tx_next;
+        self.tx_next = self.tx_next.wrapping_add(1);
+        let deadline = self.discard_timer.map(|t| now + t);
+        self.tx_queue.push_back((count, deadline, sdu));
+        count
+    }
+
+    /// Drops every queued SDU whose discardTimer has expired at `now`.
+    /// Returns how many were dropped. Because COUNTs were assigned at
+    /// enqueue, each drop is a permanent SN gap; the receiver recovers via
+    /// its reordering flush. Memory stays bounded as a corollary: no SDU
+    /// dwells in the queue longer than the timer.
+    pub fn expire_discards(&mut self, now: Instant) -> u64 {
+        let before = self.tx_queue.len();
+        self.tx_queue.retain(|(_, deadline, _)| match deadline {
+            Some(d) => *d > now,
+            None => true,
+        });
+        let dropped = (before - self.tx_queue.len()) as u64;
+        self.discard_expired += dropped;
+        self.tel.count("pdcp", "discard_expired", dropped);
+        dropped
+    }
+
+    /// Pulls the next queued SDU as a data PDU (after expiring stale heads
+    /// at `now`), moving it to the retransmission buffer. Returns the
+    /// assigned COUNT alongside the PDU, or `None` when the queue is empty.
+    pub fn pull_tx(&mut self, now: Instant) -> Option<(u32, Bytes)> {
+        self.expire_discards(now);
+        let (count, _, sdu) = self.tx_queue.pop_front()?;
+        self.tx_pending.insert(count, sdu.clone());
+        self.tel.count("pdcp", "tx_pdus", 1);
+        Some((count, self.encode_with_count(count, &sdu)))
+    }
+
+    /// SDUs waiting on the timed transmission path.
+    pub fn tx_queued(&self) -> usize {
+        self.tx_queue.len()
+    }
+
+    /// Bytes waiting on the timed transmission path.
+    pub fn tx_queued_bytes(&self) -> usize {
+        self.tx_queue.iter().map(|(_, _, sdu)| sdu.len()).sum()
+    }
+
+    /// SDUs dropped by discardTimer expiry so far.
+    pub fn discard_expired_total(&self) -> u64 {
+        self.discard_expired
     }
 
     /// t-Reordering expiry: give up on the gap and deliver everything
@@ -521,6 +599,43 @@ mod tests {
         assert_eq!(final_report.fmc, 6);
         assert!(tx.retransmit_unconfirmed(&final_report).is_empty());
         assert_eq!(tx.tx_pending(), 0);
+    }
+
+    #[test]
+    fn discard_timer_expires_stale_sdus_and_leaves_sn_gap() {
+        let (mut tx, mut rx) = pair();
+        tx.set_discard_timer(Some(Duration::from_millis(5)));
+        let t0 = Instant::ZERO;
+        let c0 = tx.tx_enqueue(t0, Bytes::from_static(b"fresh"));
+        let c1 = tx.tx_enqueue(t0, Bytes::from_static(b"stale"));
+        let c2 = tx.tx_enqueue(t0 + Duration::from_millis(4), Bytes::from_static(b"late"));
+        assert_eq!((c0, c1, c2), (0, 1, 2));
+        assert_eq!(tx.tx_queued(), 3);
+
+        // Pull the head before anything expires.
+        let (count, pdu0) = tx.pull_tx(t0 + Duration::from_millis(1)).unwrap();
+        assert_eq!(count, 0);
+        assert_eq!(rx.rx_decode(&pdu0).unwrap(), vec![Bytes::from_static(b"fresh")]);
+
+        // At t=6ms the t0 SDU has expired but the t=4ms one has not.
+        let (count, pdu2) = tx.pull_tx(t0 + Duration::from_millis(6)).unwrap();
+        assert_eq!(count, 2, "COUNT 1 must be skipped, not reassigned");
+        assert_eq!(tx.discard_expired_total(), 1);
+        assert_eq!(tx.tx_queued(), 0);
+
+        // The receiver sees the gap: COUNT 2 stalls in reordering until the
+        // flush gives up on the hole left by the discarded SDU.
+        assert!(rx.rx_decode(&pdu2).unwrap().is_empty());
+        assert_eq!(rx.flush_reordering(), vec![Bytes::from_static(b"late")]);
+    }
+
+    #[test]
+    fn discard_timer_none_never_expires() {
+        let (mut tx, _) = pair();
+        tx.tx_enqueue(Instant::ZERO, Bytes::from_static(b"forever"));
+        assert_eq!(tx.expire_discards(Instant::from_micros(u64::MAX / 2_000)), 0);
+        assert_eq!(tx.tx_queued(), 1);
+        assert_eq!(tx.tx_queued_bytes(), 7);
     }
 
     #[test]

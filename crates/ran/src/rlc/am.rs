@@ -124,6 +124,10 @@ pub struct RlcAmEntity {
     status_requested: bool,
     /// Times this entity has been re-established after an RLF.
     reestablishments: u64,
+    /// Transmission-buffer capacity in payload bytes (`None` = unbounded).
+    tx_capacity_bytes: Option<usize>,
+    /// SDUs tail-dropped by [`try_tx_sdu`](Self::try_tx_sdu).
+    tx_dropped_full: u64,
 }
 
 impl RlcAmEntity {
@@ -141,6 +145,8 @@ impl RlcAmEntity {
             rx_buffer: BTreeMap::new(),
             status_requested: false,
             reestablishments: 0,
+            tx_capacity_bytes: None,
+            tx_dropped_full: 0,
         }
     }
 
@@ -169,6 +175,33 @@ impl RlcAmEntity {
     /// Queues an SDU for transmission.
     pub fn tx_sdu(&mut self, sdu: Bytes) {
         self.wait_queue.push_back(sdu);
+    }
+
+    /// Bounds the transmission buffer at `cap` payload bytes (`None`
+    /// removes the bound). Applies to [`try_tx_sdu`](Self::try_tx_sdu);
+    /// the infallible [`tx_sdu`](Self::tx_sdu) path is unchanged.
+    pub fn set_tx_capacity(&mut self, cap: Option<usize>) {
+        self.tx_capacity_bytes = cap;
+    }
+
+    /// Queues an SDU if the transmission buffer has room, tail-dropping it
+    /// with a typed error otherwise. The cap counts fresh and pending-retx
+    /// payload bytes, mirroring what a buffer status report advertises.
+    pub fn try_tx_sdu(&mut self, sdu: Bytes) -> Result<(), RlcError> {
+        if let Some(cap) = self.tx_capacity_bytes {
+            let queued = self.queued_bytes();
+            if queued + sdu.len() > cap {
+                self.tx_dropped_full += 1;
+                return Err(RlcError::TxBufferFull { queued, cap });
+            }
+        }
+        self.tx_sdu(sdu);
+        Ok(())
+    }
+
+    /// SDUs tail-dropped because the transmission buffer was full.
+    pub fn tx_dropped_full(&self) -> u64 {
+        self.tx_dropped_full
     }
 
     /// Bytes awaiting first transmission or retransmission.
@@ -521,6 +554,20 @@ mod tests {
         assert_eq!(err, RlcError::GrantTooSmall { grant: 10, needed: 52 });
         assert_eq!(a.queued_bytes(), 50);
         assert!(a.pull_pdu(52).unwrap().is_some());
+    }
+
+    #[test]
+    fn bounded_tx_buffer_counts_retx_backlog() {
+        let mut a = RlcAmEntity::new(AmConfig::default());
+        a.set_tx_capacity(Some(64));
+        assert!(a.try_tx_sdu(Bytes::from(vec![1u8; 40])).is_ok());
+        let err = a.try_tx_sdu(Bytes::from(vec![2u8; 30])).unwrap_err();
+        assert_eq!(err, RlcError::TxBufferFull { queued: 40, cap: 64 });
+        assert_eq!(a.tx_dropped_full(), 1);
+        // Pulling the PDU moves the SDU out of the wait queue (into the
+        // unacked buffer, which the cap does not count) — room again.
+        assert!(a.pull_pdu(64).unwrap().is_some());
+        assert!(a.try_tx_sdu(Bytes::from(vec![3u8; 30])).is_ok());
     }
 
     #[test]

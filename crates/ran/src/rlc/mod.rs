@@ -91,6 +91,14 @@ pub enum RlcError {
         /// Sequence number of the abandoned SDU.
         sn: u16,
     },
+    /// Transmission buffer at capacity: the SDU was tail-dropped instead
+    /// of growing the queue without bound (overload protection).
+    TxBufferFull {
+        /// Bytes already queued when the SDU arrived.
+        queued: usize,
+        /// Configured transmission-buffer capacity in bytes.
+        cap: usize,
+    },
     /// UM: a received segment's offset or length contradicts segments
     /// already buffered for the same SN (overlapping bytes differ, or the
     /// claimed SDU end moved) — a corrupted `SO` field on the wire. The
@@ -110,6 +118,9 @@ impl core::fmt::Display for RlcError {
             }
             RlcError::MaxRetxReached { sn } => {
                 write!(f, "SDU with SN {sn} exceeded maxRetxThreshold")
+            }
+            RlcError::TxBufferFull { queued, cap } => {
+                write!(f, "tx buffer full ({queued} B queued, cap {cap} B)")
             }
             RlcError::SegmentMismatch { sn } => {
                 write!(f, "segment for SN {sn} contradicts buffered segments (corrupt SO)")

@@ -110,6 +110,11 @@ pub struct RlcUmEntity {
     rx: BTreeMap<u8, Reassembly>,
     delivered: u64,
     dropped_incomplete: u64,
+    /// Transmission-buffer capacity in payload bytes (`None` = unbounded,
+    /// the pre-overload behaviour).
+    tx_capacity_bytes: Option<usize>,
+    /// SDUs tail-dropped by [`try_tx_sdu`](Self::try_tx_sdu).
+    tx_dropped_full: u64,
     tel: Telemetry,
 }
 
@@ -137,6 +142,34 @@ impl RlcUmEntity {
     pub fn tx_sdu(&mut self, sdu: Bytes) {
         self.tel.count("rlc", "tx_sdus", 1);
         self.queue.push_back(sdu);
+    }
+
+    /// Bounds the transmission buffer at `cap` payload bytes (`None`
+    /// removes the bound). Applies to [`try_tx_sdu`](Self::try_tx_sdu);
+    /// the infallible [`tx_sdu`](Self::tx_sdu) path is unchanged.
+    pub fn set_tx_capacity(&mut self, cap: Option<usize>) {
+        self.tx_capacity_bytes = cap;
+    }
+
+    /// Queues an SDU if the transmission buffer has room, tail-dropping it
+    /// with a typed error otherwise — bounded memory under overload
+    /// instead of unbounded `VecDeque` growth.
+    pub fn try_tx_sdu(&mut self, sdu: Bytes) -> Result<(), RlcError> {
+        if let Some(cap) = self.tx_capacity_bytes {
+            let queued = self.queued_bytes();
+            if queued + sdu.len() > cap {
+                self.tx_dropped_full += 1;
+                self.tel.count("rlc", "tx_dropped_full", 1);
+                return Err(RlcError::TxBufferFull { queued, cap });
+            }
+        }
+        self.tx_sdu(sdu);
+        Ok(())
+    }
+
+    /// SDUs tail-dropped because the transmission buffer was full.
+    pub fn tx_dropped_full(&self) -> u64 {
+        self.tx_dropped_full
     }
 
     /// Bytes waiting to be transmitted (payload only), as reported in a
@@ -491,6 +524,21 @@ mod tests {
         bad[1..3].copy_from_slice(&u16::MAX.to_be_bytes());
         let sn = bad[0] & 0x3F;
         assert_eq!(rx.rx_pdu(&Bytes::from(bad)).unwrap_err(), RlcError::SegmentMismatch { sn });
+    }
+
+    #[test]
+    fn bounded_tx_buffer_tail_drops_with_typed_error() {
+        let mut tx = RlcUmEntity::new();
+        tx.set_tx_capacity(Some(100));
+        assert!(tx.try_tx_sdu(Bytes::from(vec![0u8; 60])).is_ok());
+        assert!(tx.try_tx_sdu(Bytes::from(vec![1u8; 40])).is_ok());
+        let err = tx.try_tx_sdu(Bytes::from(vec![2u8; 1])).unwrap_err();
+        assert_eq!(err, RlcError::TxBufferFull { queued: 100, cap: 100 });
+        assert_eq!(tx.tx_dropped_full(), 1);
+        assert_eq!(tx.queued_bytes(), 100, "rejected SDU must not be queued");
+        // Draining frees capacity again.
+        while tx.pull_pdu(200).unwrap().is_some() {}
+        assert!(tx.try_tx_sdu(Bytes::from(vec![3u8; 100])).is_ok());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! traces, which is what lets the benchmark harness regenerate each figure
 //! of the paper exactly.
 
+pub mod arrivals;
 pub mod dist;
 pub mod event;
 pub mod faults;
@@ -32,6 +33,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use arrivals::{ArrivalGen, ArrivalProcess};
 pub use dist::{Dist, ServiceTime};
 pub use event::{EventEntry, EventQueue};
 pub use faults::{

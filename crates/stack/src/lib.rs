@@ -32,6 +32,7 @@ pub mod experiment;
 pub mod journey;
 pub mod multi_ue;
 pub mod node;
+pub mod overload;
 pub mod pipeline;
 pub mod stage_labels;
 
@@ -44,4 +45,8 @@ pub use experiment::{
 pub use journey::{PingTrace, StageSpan};
 pub use multi_ue::{run_multi_ue, scalability_sweep, MultiUeConfig, MultiUeResult};
 pub use node::{GnbStack, StackError, UeStack};
+pub use overload::{
+    run_overload, service_capacity_pps, DegradationLevel, DropCounts, DropReason, NullHook,
+    OverloadConfig, OverloadReport, SloHook,
+};
 pub use pipeline::{Hop, HopChain, HopFx, HopId, HopOutcome, PingCtx, PingEvent, Side};

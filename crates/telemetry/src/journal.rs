@@ -84,6 +84,16 @@ pub enum JournalEvent {
         /// `false` when the budget ran out and the UE went to idle.
         ok: bool,
     },
+    /// A packet dropped by a bounded buffer or a degradation action —
+    /// the per-ping drop attribution of the overload subsystem.
+    Drop {
+        /// Ping / packet sequence number.
+        ping: u64,
+        /// Drop instant.
+        at: Instant,
+        /// Typed drop reason (labels from `stack::overload::DropReason`).
+        reason: &'static str,
+    },
     /// A GTP-U path-supervision transition (probe-lost/path-down/failover/
     /// restored — labels from `corenet::PathEventKind::label`).
     PathEvent {
@@ -114,6 +124,7 @@ impl JournalEvent {
             | JournalEvent::FaultInjected { at, .. }
             | JournalEvent::Rlf { at, .. }
             | JournalEvent::RrcReestablished { at, .. }
+            | JournalEvent::Drop { at, .. }
             | JournalEvent::PathEvent { at, .. }
             | JournalEvent::Marker { at, .. } => at,
         }
@@ -129,6 +140,7 @@ impl JournalEvent {
             JournalEvent::FaultInjected { .. } => "fault",
             JournalEvent::Rlf { .. } => "rlf",
             JournalEvent::RrcReestablished { .. } => "rrc-reestablish",
+            JournalEvent::Drop { .. } => "drop",
             JournalEvent::PathEvent { .. } => "path",
             JournalEvent::Marker { .. } => "marker",
         }
@@ -267,6 +279,7 @@ mod tests {
             },
             JournalEvent::Rlf { ping: 0, dl: true, at: Instant::ZERO },
             JournalEvent::RrcReestablished { ping: 0, at: Instant::ZERO, ok: true },
+            JournalEvent::Drop { ping: 0, at: Instant::ZERO, reason: "rlc-full" },
             JournalEvent::PathEvent { label: "failover", at: Instant::ZERO },
             JournalEvent::Marker { layer: "sim", label: "tick", at: Instant::ZERO },
         ];

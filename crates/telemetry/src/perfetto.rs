@@ -100,7 +100,8 @@ fn placement(ev: &JournalEvent) -> (u64, u64) {
         JournalEvent::Grant { ping, .. }
         | JournalEvent::SrAttempt { ping, .. }
         | JournalEvent::Rlf { ping, .. }
-        | JournalEvent::RrcReestablished { ping, .. } => (ping + 1, TID_EVENTS),
+        | JournalEvent::RrcReestablished { ping, .. }
+        | JournalEvent::Drop { ping, .. } => (ping + 1, TID_EVENTS),
         JournalEvent::HarqNack { ping, .. } => (ping + 1, TID_EVENTS),
         JournalEvent::FaultInjected { .. } => (FABRIC_PID, TID_UL),
         JournalEvent::PathEvent { .. } => (FABRIC_PID, TID_DL),
@@ -178,6 +179,16 @@ fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> String {
                 s,
                 "{{\"name\":\"{name}\",\"cat\":\"rrc\",\"ph\":\"i\",\"ts\":{},\"pid\":{pid},\
                  \"tid\":{tid},\"s\":\"t\"}}",
+                ts_us(at.as_nanos()),
+            )
+            .unwrap();
+        }
+        JournalEvent::Drop { at, reason, .. } => {
+            write!(
+                s,
+                "{{\"name\":\"drop: {}\",\"cat\":\"overload\",\"ph\":\"i\",\"ts\":{},\
+                 \"pid\":{pid},\"tid\":{tid},\"s\":\"t\"}}",
+                esc(reason),
                 ts_us(at.as_nanos()),
             )
             .unwrap();
