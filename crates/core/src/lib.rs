@@ -27,6 +27,10 @@
 //! * [`recovery`] — closed-form worst-case recovery latency: what an RLF
 //!   re-establishment detour or an N3 path-outage detection costs,
 //!   cross-checked against the stack simulation;
+//! * [`handover`] — closed-form worst-case handover interruption: what an
+//!   inter-cell mobility event (clean, too-late, too-early, or with a
+//!   lost forwarding batch) costs the stream, cross-checked against the
+//!   mobility simulation;
 //! * [`design`] — design-space search over numerology × pattern × access ×
 //!   radio × kernel, quantifying §5's conclusion that "the set of possible
 //!   system designs is quite limited";
@@ -40,6 +44,7 @@ pub mod decompose;
 pub mod design;
 pub mod feasibility;
 pub mod formats;
+pub mod handover;
 pub mod model;
 pub mod queueing;
 pub mod recovery;
@@ -52,6 +57,7 @@ pub use decompose::{LatencyBreakdown, SourceShare};
 pub use design::{DesignPoint, DesignSearch, DesignVerdict};
 pub use feasibility::{feasibility_table, paper_table1, FeasibilityTable};
 pub use formats::{format_survey, FormatVerdict};
+pub use handover::HandoverInterruptionModel;
 pub use model::{AccessScheme, ConfigUnderTest, ProcessingBudget};
 pub use queueing::Md1Model;
 pub use recovery::RecoveryLatencyModel;

@@ -27,6 +27,16 @@ pub const MSG_ECHO_REQUEST: u8 = 1;
 /// Message type of an echo response (path management).
 pub const MSG_ECHO_RESPONSE: u8 = 2;
 
+/// Message type of an end marker (TS 29.281 §7.3.2): the last packet the
+/// source sends down a forwarding tunnel after the path switch, telling
+/// the target no more forwarded data follows.
+pub const MSG_END_MARKER: u8 = 254;
+
+/// Largest payload a single G-PDU may carry: a jumbo-frame transport MTU
+/// minus the tunnel overhead. Anything larger is a malformed or hostile
+/// header, not a packet the N3/Xn transport could have carried.
+pub const MAX_PAYLOAD: usize = 9000;
+
 /// Errors from GTP-U decoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum GtpuError {
@@ -34,6 +44,9 @@ pub enum GtpuError {
     Truncated,
     /// Version field is not 1 or PT is not GTP.
     BadVersion,
+    /// Declared length exceeds what the transport can carry
+    /// ([`MAX_PAYLOAD`] plus the optional block).
+    Oversized,
 }
 
 impl core::fmt::Display for GtpuError {
@@ -41,6 +54,7 @@ impl core::fmt::Display for GtpuError {
         match self {
             GtpuError::Truncated => write!(f, "GTP-U packet truncated"),
             GtpuError::BadVersion => write!(f, "not a GTPv1-U packet"),
+            GtpuError::Oversized => write!(f, "GTP-U length exceeds the transport MTU"),
         }
     }
 }
@@ -75,8 +89,30 @@ impl GtpuHeader {
         GtpuHeader { message_type: MSG_ECHO_RESPONSE, teid: 0, sequence: Some(sequence) }
     }
 
+    /// An end marker for a forwarding tunnel (§7.3.2): no payload, sent on
+    /// the forwarding TEID after the last forwarded packet.
+    pub fn end_marker(teid: u32) -> GtpuHeader {
+        GtpuHeader { message_type: MSG_END_MARKER, teid, sequence: None }
+    }
+
+    /// Encodes header + payload, rejecting payloads beyond
+    /// [`MAX_PAYLOAD`] — the 16-bit length field would otherwise truncate
+    /// silently and desynchronise the decoder.
+    pub fn try_encode(&self, payload: &[u8]) -> Result<Bytes, GtpuError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(GtpuError::Oversized);
+        }
+        Ok(self.encode(payload))
+    }
+
     /// Encodes header + payload into a wire packet.
+    ///
+    /// Invariant: `payload.len() <= MAX_PAYLOAD`. Every payload in this
+    /// stack is bounded by the slot capacity (hundreds of bytes), far
+    /// under the MTU; callers assembling untrusted payloads use
+    /// [`try_encode`](Self::try_encode).
     pub fn encode(&self, payload: &[u8]) -> Bytes {
+        debug_assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds the GTP-U transport MTU");
         let opt = self.sequence.is_some();
         let opt_len = if opt { 4 } else { 0 };
         let length = (payload.len() + opt_len) as u16;
@@ -107,6 +143,9 @@ impl GtpuHeader {
         let message_type = packet[1];
         let length = u16::from_be_bytes([packet[2], packet[3]]) as usize;
         let teid = u32::from_be_bytes([packet[4], packet[5], packet[6], packet[7]]);
+        if length > MAX_PAYLOAD + 4 {
+            return Err(GtpuError::Oversized);
+        }
         if packet.len() < 8 + length {
             return Err(GtpuError::Truncated);
         }
@@ -182,6 +221,35 @@ mod tests {
         let mut pkt = GtpuHeader::gpdu(1).encode(b"abc").to_vec();
         pkt[3] = 200; // declared length 200, actual 3
         assert_eq!(GtpuHeader::decode(&Bytes::from(pkt)).unwrap_err(), GtpuError::Truncated);
+    }
+
+    #[test]
+    fn rejects_oversized_declared_length() {
+        // A header whose 16-bit length field claims more than the
+        // transport MTU is Oversized, not merely Truncated.
+        let mut pkt = GtpuHeader::gpdu(1).encode(b"abc").to_vec();
+        let bad = (MAX_PAYLOAD + 5) as u16;
+        pkt[2..4].copy_from_slice(&bad.to_be_bytes());
+        assert_eq!(GtpuHeader::decode(&Bytes::from(pkt)).unwrap_err(), GtpuError::Oversized);
+    }
+
+    #[test]
+    fn try_encode_rejects_oversized_payloads() {
+        let h = GtpuHeader::gpdu(9);
+        assert_eq!(h.try_encode(&vec![0u8; MAX_PAYLOAD + 1]).unwrap_err(), GtpuError::Oversized);
+        let ok = h.try_encode(&[0u8; 64]).unwrap();
+        assert_eq!(GtpuHeader::decode(&ok).unwrap().0, h);
+    }
+
+    #[test]
+    fn end_marker_roundtrips_with_no_payload() {
+        let h = GtpuHeader::end_marker(0xF0F0);
+        let pkt = h.encode(b"");
+        assert_eq!(pkt.len(), 8);
+        let (dec, body) = GtpuHeader::decode(&pkt).unwrap();
+        assert_eq!(dec.message_type, MSG_END_MARKER);
+        assert_eq!(dec.teid, 0xF0F0);
+        assert!(body.is_empty());
     }
 
     #[test]

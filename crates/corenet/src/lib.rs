@@ -15,7 +15,10 @@
 //!   the stack's event-driven ping walk;
 //! * [`qos`] — the standardised 5QI table (TS 23.501): packet delay
 //!   budgets and error-rate targets, and what a configuration's latency
-//!   can legally carry.
+//!   can legally carry;
+//! * [`xn`] — the Xn-U data-forwarding tunnel used during inter-gNB
+//!   handover: sequenced G-PDU forwarding, SN status transfer, and the
+//!   end marker that closes the tunnel after the path switch.
 
 pub mod backbone;
 pub mod gtpu;
@@ -23,10 +26,12 @@ pub mod hop;
 pub mod qos;
 pub mod supervision;
 pub mod upf;
+pub mod xn;
 
 pub use backbone::BackboneLink;
-pub use gtpu::{GtpuHeader, GTPU_PORT};
+pub use gtpu::{GtpuError, GtpuHeader, GTPU_PORT, MAX_PAYLOAD, MSG_END_MARKER, MSG_GPDU};
 pub use hop::{plan_crossing, CrossingPlan};
 pub use qos::{FiveQi, ResourceType};
 pub use supervision::{PathEvent, PathEventKind, PathSupervisor, SupervisionConfig};
 pub use upf::{Upf, UpfError, UplinkOutcome};
+pub use xn::{SnStatusTransfer, XnDelivery, XnError, XnForwardingTunnel, XnReceiver};

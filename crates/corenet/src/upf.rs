@@ -149,7 +149,13 @@ impl Upf {
     /// §7.2.1) are answered in place with [`UplinkOutcome::EchoResponse`],
     /// the request's sequence number echoed back.
     pub fn uplink(&mut self, n3_packet: &Bytes) -> Result<UplinkOutcome, UpfError> {
-        let (header, payload) = GtpuHeader::decode(n3_packet)?;
+        let (header, payload) = match GtpuHeader::decode(n3_packet) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                self.tel.count("corenet", "gtpu_decode_err", 1);
+                return Err(e.into());
+            }
+        };
         match header.message_type {
             MSG_GPDU => {
                 let session = self

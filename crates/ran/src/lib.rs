@@ -42,7 +42,10 @@ pub use pdcp::PdcpStatusReport;
 pub use pdcp::{PdcpConfig, PdcpEntity};
 pub use rach::{simulate_contention, RachConfig};
 pub use rlc::{RlcAmEntity, RlcMode, RlcUmEntity};
-pub use rrc::{RecoveryTimeline, RrcConfig, RrcEntity, RrcState};
+pub use rrc::{
+    A3Trigger, HandoverConfig, HandoverEntity, HandoverTimeline, RecoveryTimeline, RrcConfig,
+    RrcEntity, RrcState,
+};
 pub use sched::{AccessMode, Scheduler, SchedulerConfig};
 pub use sdap::{SdapEntity, SdapHeader};
 pub use sr::{SrConfig, SrState};

@@ -33,6 +33,13 @@ pub enum MacError {
     Truncated,
     /// A subPDU payload exceeds the 16-bit length field.
     PayloadTooLarge,
+    /// The multiplexed subPDUs overflow the granted transport block.
+    ExceedsTransportBlock {
+        /// Bytes the subPDUs and their subheaders need.
+        needed: usize,
+        /// Transport block size granted by the scheduler.
+        tbs: usize,
+    },
     /// The bounded MAC backlog is at capacity (overload protection).
     BacklogFull {
         /// PDUs already queued when the push arrived.
@@ -47,6 +54,9 @@ impl core::fmt::Display for MacError {
         match self {
             MacError::Truncated => write!(f, "MAC PDU truncated"),
             MacError::PayloadTooLarge => write!(f, "subPDU payload exceeds 65535 bytes"),
+            MacError::ExceedsTransportBlock { needed, tbs } => {
+                write!(f, "subPDUs need {needed} bytes but the transport block holds {tbs}")
+            }
             MacError::BacklogFull { queued, cap } => {
                 write!(f, "MAC backlog full ({queued} PDUs queued, cap {cap})")
             }
@@ -112,7 +122,9 @@ impl MacPdu {
             out.extend_from_slice(&sub.payload);
         }
         if let Some(tbs) = transport_block_size {
-            assert!(out.len() <= tbs, "subPDUs exceed transport block size");
+            if out.len() > tbs {
+                return Err(MacError::ExceedsTransportBlock { needed: out.len(), tbs });
+            }
             if out.len() < tbs {
                 // Padding subPDU: one subheader byte, rest zero.
                 out.push(lcid::PADDING);
@@ -335,10 +347,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceed transport block")]
-    fn oversized_for_tb_panics() {
+    fn oversized_for_tb_is_a_typed_error() {
         let pdu = MacPdu::new(vec![MacSubPdu::new(1, Bytes::from(vec![0u8; 50]))]);
-        let _ = pdu.encode(Some(10));
+        assert_eq!(
+            pdu.encode(Some(10)).unwrap_err(),
+            MacError::ExceedsTransportBlock { needed: 52, tbs: 10 }
+        );
     }
 
     #[test]

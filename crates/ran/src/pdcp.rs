@@ -252,6 +252,15 @@ impl PdcpEntity {
         Bytes::from(out)
     }
 
+    /// Sets the COUNT the next transmitted SDU will carry — the receiving
+    /// side of an Xn SN STATUS TRANSFER (TS 38.423 §9.1.1.4): the target
+    /// gNB resumes downlink numbering exactly where the source stopped, so
+    /// forwarded PDUs (original COUNTs) and fresh ones stay contiguous.
+    /// Only meaningful on a freshly created entity taking over a bearer.
+    pub fn set_tx_next(&mut self, count: u32) {
+        self.tx_next = count;
+    }
+
     /// SDUs still awaiting delivery confirmation.
     pub fn tx_pending(&self) -> usize {
         self.tx_pending.len()

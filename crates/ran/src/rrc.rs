@@ -208,6 +208,292 @@ impl RrcEntity {
     }
 }
 
+/// Inter-cell (Xn) handover policy and timing constants
+/// (TS 38.331 §5.3.5 reconfiguration-with-sync, TS 38.423 Xn preparation).
+///
+/// The latency-bearing skeleton of the standard sequence:
+/// measurement report (A3 event, sustained for `time_to_trigger`) →
+/// Xn HANDOVER REQUEST/ACK with admission control (`prep_delay`) →
+/// `RRCReconfiguration` processed at the UE (`reconfig_processing`, the
+/// instant the UE detaches from the source) → contention-free RACH to the
+/// target (dedicated preamble, supervised by `t304`) →
+/// `RRCReconfigurationComplete` (`complete_processing`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HandoverConfig {
+    /// A3 offset: the neighbour must beat the serving cell by this many
+    /// dB before the entering condition holds.
+    pub hysteresis_db: f64,
+    /// The A3 entering condition must hold continuously this long before
+    /// the UE sends the measurement report.
+    pub time_to_trigger: Duration,
+    /// Measurement report air time + serving-gNB processing.
+    pub report_delay: Duration,
+    /// Xn HANDOVER REQUEST → ACK: admission control and UE-context setup
+    /// at the target, one Xn control-plane round trip included.
+    pub prep_delay: Duration,
+    /// `RRCReconfiguration` reception + processing at the UE; the UE
+    /// detaches from the source at the end of this leg.
+    pub reconfig_processing: Duration,
+    /// `RRCReconfigurationComplete` processing at the target.
+    pub complete_processing: Duration,
+    /// Reconfiguration-with-sync supervision timer: if RACH to the target
+    /// has not succeeded this long after detach, the handover failed and
+    /// the UE falls back to re-establishment.
+    pub t304: Duration,
+    /// One-way Xn user-plane latency between the two gNBs (forwarding
+    /// tunnel and path-switch signalling ride this link).
+    pub xn_delay: Duration,
+    /// Serving-cell RSRP below which the UE declares radio-link failure —
+    /// the cliff a too-late handover falls off.
+    pub rlf_rsrp_dbm: f64,
+}
+
+impl Default for HandoverConfig {
+    fn default() -> Self {
+        HandoverConfig {
+            hysteresis_db: 3.0,
+            time_to_trigger: Duration::from_millis(40),
+            report_delay: Duration::from_millis(1),
+            prep_delay: Duration::from_millis(2),
+            reconfig_processing: Duration::from_millis(2),
+            complete_processing: Duration::from_millis(1),
+            t304: Duration::from_millis(40),
+            xn_delay: Duration::from_micros(300),
+            rlf_rsrp_dbm: -110.0,
+        }
+    }
+}
+
+/// The A3 measurement-event tracker (TS 38.331 §5.5.4.4): fires once when
+/// `neighbour > serving + hysteresis` has held continuously for the
+/// time-to-trigger. Deterministic — pure bookkeeping over the measurement
+/// samples fed in.
+#[derive(Debug, Clone, Copy)]
+pub struct A3Trigger {
+    hysteresis_db: f64,
+    time_to_trigger: Duration,
+    entered_at: Option<Instant>,
+    fired: bool,
+}
+
+impl A3Trigger {
+    /// A fresh (disarmed-condition, armed-trigger) tracker.
+    pub fn new(hysteresis_db: f64, time_to_trigger: Duration) -> A3Trigger {
+        A3Trigger { hysteresis_db, time_to_trigger, entered_at: None, fired: false }
+    }
+
+    /// Feeds one measurement sample. Returns `true` exactly once, when the
+    /// entering condition has been sustained for the time-to-trigger;
+    /// leaving the condition before that re-arms the window.
+    pub fn observe(&mut self, at: Instant, serving_dbm: f64, neighbour_dbm: f64) -> bool {
+        if self.fired {
+            return false;
+        }
+        if neighbour_dbm > serving_dbm + self.hysteresis_db {
+            let entered = *self.entered_at.get_or_insert(at);
+            if at - entered >= self.time_to_trigger {
+                self.fired = true;
+                return true;
+            }
+        } else {
+            self.entered_at = None;
+        }
+        false
+    }
+
+    /// Whether the trigger has fired and awaits [`reset`](Self::reset).
+    pub fn has_fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Re-arms the tracker (after the handover completes or fails).
+    pub fn reset(&mut self) {
+        self.entered_at = None;
+        self.fired = false;
+    }
+}
+
+/// The per-leg latency ledger of one fault-free handover execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HandoverTimeline {
+    /// Measurement report sent → received/processed at the serving gNB.
+    pub report: Duration,
+    /// Xn preparation (HANDOVER REQUEST/ACK, admission, context setup).
+    pub prep: Duration,
+    /// `RRCReconfiguration` delivery + processing at the UE (ends at
+    /// detach — the service interruption starts here).
+    pub reconfig: Duration,
+    /// Contention-free RACH to the target cell.
+    pub rach: Duration,
+    /// `RRCReconfigurationComplete` processing at the target (ends the
+    /// control-plane interruption).
+    pub complete: Duration,
+}
+
+impl HandoverTimeline {
+    /// Report sent → HO command starts being processed at the UE.
+    pub fn command_delay(&self) -> Duration {
+        self.report + self.prep
+    }
+
+    /// The control-plane service interruption: UE detached from the
+    /// source → connected to the target (data-plane resumption adds the
+    /// path switch and forwarding flush on top — the stack measures it).
+    pub fn interruption(&self) -> Duration {
+        self.reconfig + self.rach + self.complete
+    }
+
+    /// Report sent → connected at the target.
+    pub fn total(&self) -> Duration {
+        self.command_delay() + self.interruption()
+    }
+}
+
+/// The UE-side handover state machine: A3 trigger tracking, fault-free
+/// execution timing, and the failure-taxonomy counters. The experiment
+/// driver owns the data plane (forwarding, path switch) and the fault
+/// injection; this entity owns the control-plane clockwork.
+#[derive(Debug, Clone)]
+pub struct HandoverEntity {
+    config: HandoverConfig,
+    rach: RachConfig,
+    trigger: A3Trigger,
+    attempts: u64,
+    completions: u64,
+    too_late: u64,
+    too_early: u64,
+    ping_pongs: u64,
+    tel: Telemetry,
+}
+
+impl HandoverEntity {
+    /// A fresh entity for the given policy; target access uses the same
+    /// RACH numerology as re-establishment, minus the contention.
+    pub fn new(config: HandoverConfig, rach: RachConfig) -> HandoverEntity {
+        HandoverEntity {
+            config,
+            rach,
+            trigger: A3Trigger::new(config.hysteresis_db, config.time_to_trigger),
+            attempts: 0,
+            completions: 0,
+            too_late: 0,
+            too_early: 0,
+            ping_pongs: 0,
+            tel: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle (`rrc/ho_*` counters).
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// The handover policy.
+    pub fn config(&self) -> &HandoverConfig {
+        &self.config
+    }
+
+    /// Feeds one measurement occasion; `true` fires the measurement
+    /// report (once — [`rearm`](Self::rearm) re-enables the trigger).
+    pub fn observe(&mut self, at: Instant, serving_dbm: f64, neighbour_dbm: f64) -> bool {
+        let fired = self.trigger.observe(at, serving_dbm, neighbour_dbm);
+        if fired {
+            self.attempts += 1;
+            self.tel.count("rrc", "ho_attempt", 1);
+        }
+        fired
+    }
+
+    /// Re-arms the A3 trigger after a completed or failed handover.
+    pub fn rearm(&mut self) {
+        self.trigger.reset();
+    }
+
+    /// The fault-free execution timeline for a measurement report sent at
+    /// `report_at`. Target access is contention-free (dedicated preamble
+    /// from the HANDOVER REQUEST ACK), so the whole timeline is
+    /// deterministic: no RNG draws.
+    pub fn execute(&self, report_at: Instant) -> HandoverTimeline {
+        let detach_at = report_at
+            + self.config.report_delay
+            + self.config.prep_delay
+            + self.config.reconfig_processing;
+        HandoverTimeline {
+            report: self.config.report_delay,
+            prep: self.config.prep_delay,
+            reconfig: self.config.reconfig_processing,
+            rach: self.rach.uncontended_latency(detach_at),
+            complete: self.config.complete_processing,
+        }
+    }
+
+    /// Records a completed handover and its measured service interruption.
+    pub fn record_complete(&mut self, interruption: Duration) {
+        self.completions += 1;
+        self.tel.count("rrc", "ho_complete", 1);
+        self.tel.record("rrc", "ho_interruption_us", interruption);
+    }
+
+    /// Records a too-late failure (RLF before the command).
+    pub fn record_too_late(&mut self) {
+        self.too_late += 1;
+        self.tel.count("rrc", "ho_too_late", 1);
+    }
+
+    /// Records a too-early failure (T304 expiry).
+    pub fn record_too_early(&mut self) {
+        self.too_early += 1;
+        self.tel.count("rrc", "ho_too_early", 1);
+    }
+
+    /// Records a ping-pong bounce.
+    pub fn record_ping_pong(&mut self) {
+        self.ping_pongs += 1;
+        self.tel.count("rrc", "ho_ping_pong", 1);
+    }
+
+    /// Handover attempts (measurement reports sent).
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Completed handovers.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Too-late failures recorded.
+    pub fn too_late(&self) -> u64 {
+        self.too_late
+    }
+
+    /// Too-early failures recorded.
+    pub fn too_early(&self) -> u64 {
+        self.too_early
+    }
+
+    /// Ping-pong bounces recorded.
+    pub fn ping_pongs(&self) -> u64 {
+        self.ping_pongs
+    }
+
+    /// Worst-case control-plane interruption of a *successful* handover:
+    /// detach → connected at the target, with the RACH leg at its
+    /// contention-free worst. The closed-form model in `urllc-core`
+    /// builds on this.
+    pub fn interruption_worst_case(&self) -> Duration {
+        self.config.reconfig_processing
+            + self.rach.uncontended_worst_case()
+            + self.config.complete_processing
+    }
+
+    /// Whether T304 is long enough to cover the worst-case target access —
+    /// a mis-tuned (shorter) T304 makes every handover natively too-early.
+    pub fn t304_covers_rach(&self) -> bool {
+        self.config.t304 >= self.rach.uncontended_worst_case()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,5 +583,78 @@ mod tests {
             }
         }
         assert!(e.reestablishments() > 0);
+    }
+
+    #[test]
+    fn a3_trigger_requires_sustained_entering_condition() {
+        let mut t = A3Trigger::new(3.0, Duration::from_millis(40));
+        let ms = Instant::from_millis;
+        // Below hysteresis: never enters.
+        assert!(!t.observe(ms(0), -80.0, -78.0));
+        // Enters at 10 ms, but drops out at 30 ms: the window re-arms.
+        assert!(!t.observe(ms(10), -80.0, -76.0));
+        assert!(!t.observe(ms(30), -80.0, -79.0));
+        // Re-enters at 40 ms and holds: fires at 80 ms, exactly once.
+        assert!(!t.observe(ms(40), -80.0, -75.0));
+        assert!(!t.observe(ms(70), -80.0, -75.0));
+        assert!(t.observe(ms(80), -80.0, -75.0));
+        assert!(t.has_fired());
+        assert!(!t.observe(ms(90), -80.0, -70.0), "must fire only once");
+        t.reset();
+        assert!(!t.has_fired());
+        // TTT zero: fires on the first qualifying sample.
+        let mut instant = A3Trigger::new(3.0, Duration::ZERO);
+        assert!(instant.observe(ms(0), -80.0, -75.0));
+    }
+
+    #[test]
+    fn handover_timeline_is_deterministic_and_decomposes() {
+        let e = HandoverEntity::new(HandoverConfig::default(), RachConfig::default());
+        let at = Instant::from_millis(7);
+        let a = e.execute(at);
+        let b = e.execute(at);
+        assert_eq!(a, b);
+        assert_eq!(a.report, Duration::from_millis(1));
+        assert_eq!(a.prep, Duration::from_millis(2));
+        assert_eq!(a.command_delay(), Duration::from_millis(3));
+        assert_eq!(a.interruption(), a.reconfig + a.rach + a.complete);
+        assert_eq!(a.total(), a.command_delay() + a.interruption());
+        // The RACH leg matches the contention-free model at the detach
+        // instant (report + prep + reconfig after the report).
+        let detach = at + Duration::from_millis(5);
+        assert_eq!(a.rach, RachConfig::default().uncontended_latency(detach));
+    }
+
+    #[test]
+    fn interruption_worst_case_bounds_every_execution() {
+        let e = HandoverEntity::new(HandoverConfig::default(), RachConfig::default());
+        let bound = e.interruption_worst_case();
+        for i in 0..500u64 {
+            let tl = e.execute(Instant::from_micros(i * 731));
+            assert!(tl.interruption() <= bound, "interruption {} > bound {bound}", {
+                tl.interruption()
+            });
+        }
+        assert!(e.t304_covers_rach(), "default T304 must cover worst-case target access");
+    }
+
+    #[test]
+    fn handover_counters_track_the_taxonomy() {
+        let mut e = HandoverEntity::new(
+            HandoverConfig { time_to_trigger: Duration::ZERO, ..HandoverConfig::default() },
+            RachConfig::default(),
+        );
+        assert!(e.observe(Instant::ZERO, -90.0, -80.0));
+        assert!(!e.observe(Instant::from_millis(1), -90.0, -80.0), "trigger latched");
+        e.rearm();
+        assert!(e.observe(Instant::from_millis(2), -90.0, -80.0));
+        e.record_complete(Duration::from_millis(9));
+        e.record_too_late();
+        e.record_too_early();
+        e.record_ping_pong();
+        assert_eq!(
+            (e.attempts(), e.completions(), e.too_late(), e.too_early(), e.ping_pongs()),
+            (2, 1, 1, 1, 1)
+        );
     }
 }

@@ -25,7 +25,7 @@ use crate::rng::SimRng;
 use crate::time::Duration;
 
 /// Number of fault kinds (array sizing for tallies and traces).
-pub const FAULT_KINDS: usize = 7;
+pub const FAULT_KINDS: usize = 11;
 
 /// The injectable fault processes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -47,6 +47,19 @@ pub enum FaultKind {
     /// N3 path failure: the primary gNB↔UPF backbone stops forwarding
     /// (link or switch outage), detected by GTP-U echo supervision.
     PathFailure,
+    /// Too-late handover: radio-link failure on the serving cell before
+    /// the HO command reaches the UE (the measurement/trigger chain lost
+    /// the race against the fading edge).
+    HoTooLate,
+    /// Too-early handover: T304 expires before RACH to the target
+    /// succeeds; the UE re-establishes to whichever cell it can reach.
+    HoTooEarly,
+    /// Ping-pong handover: the UE bounces straight back to the old cell
+    /// (hysteresis / time-to-trigger mis-tuning at a fading cell edge).
+    HoPingPong,
+    /// Xn forwarding-tunnel loss: the forwarded PDCP batch never reaches
+    /// the target and must be re-fetched from the source.
+    HoForwardingLoss,
 }
 
 impl FaultKind {
@@ -59,6 +72,10 @@ impl FaultKind {
         FaultKind::BackboneSpike,
         FaultKind::GrantWithheld,
         FaultKind::PathFailure,
+        FaultKind::HoTooLate,
+        FaultKind::HoTooEarly,
+        FaultKind::HoPingPong,
+        FaultKind::HoForwardingLoss,
     ];
 
     /// Stable index into tally/trace arrays.
@@ -71,6 +88,10 @@ impl FaultKind {
             FaultKind::BackboneSpike => 4,
             FaultKind::GrantWithheld => 5,
             FaultKind::PathFailure => 6,
+            FaultKind::HoTooLate => 7,
+            FaultKind::HoTooEarly => 8,
+            FaultKind::HoPingPong => 9,
+            FaultKind::HoForwardingLoss => 10,
         }
     }
 
@@ -84,6 +105,10 @@ impl FaultKind {
             FaultKind::BackboneSpike => "backbone-spike",
             FaultKind::GrantWithheld => "grant-withheld",
             FaultKind::PathFailure => "path-failure",
+            FaultKind::HoTooLate => "ho-too-late",
+            FaultKind::HoTooEarly => "ho-too-early",
+            FaultKind::HoPingPong => "ho-ping-pong",
+            FaultKind::HoForwardingLoss => "ho-fwd-loss",
         }
     }
 }
@@ -241,6 +266,23 @@ pub struct PathFailureConfig {
     pub stay: f64,
 }
 
+/// Handover failure injection: one Bernoulli draw per decision point of
+/// each handover attempt (trigger, execution, completion, forwarding
+/// flush), so the process consumes draws only while a handover is in
+/// flight and never perturbs stationary traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HandoverFaultConfig {
+    /// P(RLF on the serving cell before the HO command lands) — the
+    /// too-late handover of the mobility failure taxonomy.
+    pub too_late: f64,
+    /// P(T304 expires before RACH to the target succeeds) — too-early.
+    pub too_early: f64,
+    /// P(a completed handover immediately re-triggers back) — ping-pong.
+    pub ping_pong: f64,
+    /// P(the Xn-forwarded PDCP batch is lost in the tunnel).
+    pub forwarding_loss: f64,
+}
+
 /// A complete fault schedule: which processes run and with what parameters.
 ///
 /// `None` disables a process entirely — it consumes no RNG draws, so a
@@ -262,6 +304,9 @@ pub struct FaultPlan {
     pub grant_withhold: Option<LossGate>,
     /// Primary N3 path outages (drives GTP-U supervision failover).
     pub path_failure: Option<PathFailureConfig>,
+    /// Inter-cell handover failures (too-late / too-early / ping-pong /
+    /// forwarding loss). Only consulted by the mobility experiment.
+    pub handover: Option<HandoverFaultConfig>,
 }
 
 impl Default for FaultPlan {
@@ -281,6 +326,7 @@ impl FaultPlan {
             backbone_spike: None,
             grant_withhold: None,
             path_failure: None,
+            handover: None,
         }
     }
 
@@ -293,6 +339,7 @@ impl FaultPlan {
             && self.backbone_spike.is_none()
             && self.grant_withhold.is_none()
             && self.path_failure.is_none()
+            && self.handover.is_none()
     }
 
     /// The chaos preset: every process enabled, probabilities scaled by
@@ -327,6 +374,30 @@ impl FaultPlan {
             }),
             grant_withhold: Some(LossGate { prob: p(0.10, 0.9) }),
             path_failure: Some(PathFailureConfig { enter: p(0.002, 0.2), stay: 0.7 }),
+            // The stationary chaos preset leaves mobility alone: the
+            // single-cell sweeps it drives have no handover to break.
+            handover: None,
+        }
+    }
+
+    /// The mobility chaos preset: only the handover process, probabilities
+    /// scaled by `intensity` (0 = no faults). The mobility experiment
+    /// consults no other hook, so keeping the stationary processes off
+    /// makes the fault-free column of the handover sweep the exact
+    /// baseline walk.
+    pub fn handover_chaos(intensity: f64) -> FaultPlan {
+        if intensity <= 0.0 {
+            return FaultPlan::none();
+        }
+        let p = |base: f64, cap: f64| (base * intensity).min(cap);
+        FaultPlan {
+            handover: Some(HandoverFaultConfig {
+                too_late: p(0.15, 0.8),
+                too_early: p(0.15, 0.8),
+                ping_pong: p(0.25, 0.9),
+                forwarding_loss: p(0.30, 1.0),
+            }),
+            ..FaultPlan::none()
         }
     }
 }
@@ -512,6 +583,7 @@ pub struct FaultInjector {
     backbone: Option<(SpikeConfig, SimRng)>,
     grant: Option<(LossGate, SimRng)>,
     path: Option<(PathFailureConfig, SimRng)>,
+    ho: Option<(HandoverFaultConfig, SimRng)>,
     path_is_down: bool,
     recovery_rng: SimRng,
     tally: FaultTally,
@@ -530,6 +602,7 @@ impl FaultInjector {
             backbone: plan.backbone_spike.clone().map(|c| (c, root.stream("backbone"))),
             grant: plan.grant_withhold.map(|g| (g, root.stream("grant"))),
             path: plan.path_failure.map(|c| (c, root.stream("path"))),
+            ho: plan.handover.map(|c| (c, root.stream("handover"))),
             path_is_down: false,
             recovery_rng: root.stream("recovery"),
             tally: FaultTally::default(),
@@ -545,6 +618,7 @@ impl FaultInjector {
             || self.backbone.is_some()
             || self.grant.is_some()
             || self.path.is_some()
+            || self.ho.is_some()
     }
 
     /// Whether the burst-loss overlay is enabled.
@@ -635,6 +709,54 @@ impl FaultInjector {
         }
         self.path_is_down = down;
         down
+    }
+
+    /// Whether the handover failure process is enabled.
+    pub fn handover_active(&self) -> bool {
+        self.ho.is_some()
+    }
+
+    /// One handover trigger: does the serving link fail before the HO
+    /// command lands (too-late handover)?
+    pub fn ho_too_late(&mut self) -> bool {
+        let Some((cfg, rng)) = self.ho.as_mut() else { return false };
+        let fired = rng.chance(cfg.too_late);
+        if fired {
+            self.tally.count(FaultKind::HoTooLate);
+        }
+        fired
+    }
+
+    /// One handover execution: does T304 expire before target access
+    /// succeeds (too-early handover)?
+    pub fn ho_too_early(&mut self) -> bool {
+        let Some((cfg, rng)) = self.ho.as_mut() else { return false };
+        let fired = rng.chance(cfg.too_early);
+        if fired {
+            self.tally.count(FaultKind::HoTooEarly);
+        }
+        fired
+    }
+
+    /// One handover completion: does the UE bounce straight back
+    /// (ping-pong)?
+    pub fn ho_ping_pong(&mut self) -> bool {
+        let Some((cfg, rng)) = self.ho.as_mut() else { return false };
+        let fired = rng.chance(cfg.ping_pong);
+        if fired {
+            self.tally.count(FaultKind::HoPingPong);
+        }
+        fired
+    }
+
+    /// One Xn forwarding flush: is the forwarded batch lost in the tunnel?
+    pub fn ho_forwarding_lost(&mut self) -> bool {
+        let Some((cfg, rng)) = self.ho.as_mut() else { return false };
+        let fired = rng.chance(cfg.forwarding_loss);
+        if fired {
+            self.tally.count(FaultKind::HoForwardingLoss);
+        }
+        fired
     }
 
     /// Advances the burst-loss chain by `n` extra transmissions without
@@ -786,11 +908,56 @@ mod tests {
             assert_eq!(inj.backbone_spike(), Duration::ZERO);
             assert!(!inj.grant_withheld());
             assert!(!inj.path_down());
+            assert!(!inj.ho_too_late());
+            assert!(!inj.ho_too_early());
+            assert!(!inj.ho_ping_pong());
+            assert!(!inj.ho_forwarding_lost());
         }
         inj.channel_advance(10);
         assert_eq!(inj.tally().total(), 0);
         assert!(!inj.is_active());
         assert!(!inj.path_failure_active());
+        assert!(!inj.handover_active());
+    }
+
+    #[test]
+    fn handover_process_is_independent_of_the_stationary_processes() {
+        // Enabling the handover process must not perturb any stationary
+        // stream, and vice versa — each owns its own child stream.
+        let run = |plan: &FaultPlan| {
+            let master = SimRng::from_seed(13);
+            let mut inj = FaultInjector::new(plan, &master);
+            (0..200)
+                .map(|_| (inj.channel_loss(), inj.sr_lost(), inj.ho_too_late(), inj.ho_ping_pong()))
+                .collect::<Vec<_>>()
+        };
+        let chaos = FaultPlan::chaos(1.0);
+        let mut both = chaos.clone();
+        both.handover = FaultPlan::handover_chaos(1.0).handover;
+        let a = run(&chaos);
+        let b = run(&both);
+        assert_eq!(
+            a.iter().map(|t| (t.0, t.1)).collect::<Vec<_>>(),
+            b.iter().map(|t| (t.0, t.1)).collect::<Vec<_>>(),
+            "stationary streams perturbed by the handover process"
+        );
+        assert!(a.iter().all(|t| !t.2 && !t.3), "disabled handover process fired");
+        assert!(b.iter().any(|t| t.2 || t.3), "enabled handover process never fired");
+        assert_eq!(run(&both), run(&both));
+    }
+
+    #[test]
+    fn handover_chaos_scales_and_zero_is_empty() {
+        assert_eq!(FaultPlan::handover_chaos(0.0), FaultPlan::none());
+        let lo = FaultPlan::handover_chaos(0.1).handover.unwrap();
+        let hi = FaultPlan::handover_chaos(1.0).handover.unwrap();
+        let extreme = FaultPlan::handover_chaos(100.0).handover.unwrap();
+        assert!(lo.too_late < hi.too_late);
+        assert!(extreme.too_late <= 0.8 && extreme.forwarding_loss <= 1.0);
+        // Only the handover process is enabled.
+        let plan = FaultPlan::handover_chaos(1.0);
+        assert!(plan.channel_burst.is_none() && plan.sr_loss.is_none());
+        assert!(!plan.is_empty());
     }
 
     #[test]

@@ -38,7 +38,8 @@ pub use dist::{Dist, ServiceTime};
 pub use event::{EventEntry, EventQueue};
 pub use faults::{
     FaultAttribution, FaultInjector, FaultKind, FaultPlan, FaultTally, GeChain, GilbertElliott,
-    LossGate, PathFailureConfig, PingFaultTrace, PingOutcome, SpikeConfig, StormChain, StormConfig,
+    HandoverFaultConfig, LossGate, PathFailureConfig, PingFaultTrace, PingOutcome, SpikeConfig,
+    StormChain, StormConfig,
 };
 pub use rng::SimRng;
 pub use stats::{Histogram, LatencyRecorder, StreamingStats, Summary};

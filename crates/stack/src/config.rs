@@ -85,6 +85,9 @@ pub struct StackConfig {
     /// RRC re-establishment policy: what happens after a radio-link
     /// failure instead of dropping the packet.
     pub rrc: ran::RrcConfig,
+    /// Inter-cell handover policy: A3 trigger, Xn preparation delays, and
+    /// the T304 supervision timer (used by the mobility experiment).
+    pub handover: ran::HandoverConfig,
     /// GTP-U path-supervision policy on the N3 backbone (echo keepalive,
     /// retry/backoff, failover).
     pub supervision: corenet::SupervisionConfig,
@@ -134,6 +137,7 @@ impl StackConfig {
             sr: ran::sr::SrConfig::default(),
             rach: ran::RachConfig::default(),
             rrc: ran::RrcConfig::default(),
+            handover: ran::HandoverConfig::default(),
             supervision: corenet::SupervisionConfig::edge(),
             // A second co-located link: failover costs detection, not
             // distance.
@@ -185,6 +189,7 @@ impl StackConfig {
             sr: ran::sr::SrConfig::default(),
             rach: ran::RachConfig::default(),
             rrc: ran::RrcConfig::default(),
+            handover: ran::HandoverConfig::default(),
             supervision: corenet::SupervisionConfig::edge(),
             backup_backbone: Some(BackboneLink::ideal()),
             deadline: Duration::from_millis(1),

@@ -29,6 +29,7 @@
 pub mod coexistence;
 pub mod config;
 pub mod experiment;
+pub mod handover;
 pub mod journey;
 pub mod multi_ue;
 pub mod node;
@@ -42,6 +43,7 @@ pub use experiment::{
     run_parallel, run_parallel_opts, run_parallel_workers, ExperimentResult, PingExperiment,
     RlfEvent, BATCH_PINGS,
 };
+pub use handover::{run_mobility, MobilityConfig, MobilityReport, SignalTrajectory};
 pub use journey::{PingTrace, StageSpan};
 pub use multi_ue::{run_multi_ue, scalability_sweep, MultiUeConfig, MultiUeResult};
 pub use node::{GnbStack, StackError, UeStack};

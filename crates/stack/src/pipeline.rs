@@ -422,8 +422,12 @@ impl Hop for AppDownHop {
         let in_rlc = at + ue_upper;
         fx.span(Side::Ul, StageSpan::new(labels::APP_DOWN, at, in_rlc));
         // Build the actual MAC PDU(s) now (content is time-independent).
+        // Infallible by construction: `grant_bytes()` sizes the UL grant
+        // for the configured payload plus PDCP/RLC/MAC headers, so the
+        // segmenter never overflows a transport block here.
         let grant_bytes = exp.config.grant_bytes();
-        ctx.mac_pdus = exp.ue.encode_uplink(&ctx.payload, grant_bytes).expect("uplink encode");
+        ctx.mac_pdus =
+            exp.ue.encode_uplink(&ctx.payload, grant_bytes).expect("UL grant sized for payload");
         ctx.ul_samples = exp.ue.phy_sample_count(ctx.mac_pdus[0].len());
         ctx.in_rlc = in_rlc;
         fx.emit(in_rlc, PingEvent::UlAccess);
@@ -1078,9 +1082,12 @@ impl Hop for DlWalkHop {
         let in_rlc_q = at + d_sdap + d_pdcp + d_rlc;
         fx.span(Side::Dl, StageSpan::new(labels::SDAP_DOWN, at, in_rlc_q));
         ctx.reply = make_payload(ctx.id | 0x8000_0000_0000_0000, exp.config.payload_bytes);
+        // Infallible by construction: `slot_capacity_bytes()` derives the
+        // DL slot budget from the same config that sizes the reply, and the
+        // session for UE_ADDR was registered at experiment setup.
         let cap = exp.config.slot_capacity_bytes();
         let (_rnti, dl_pdus) =
-            exp.gnb.encode_downlink(UE_ADDR, &ctx.reply, cap).expect("downlink encode");
+            exp.gnb.encode_downlink(UE_ADDR, &ctx.reply, cap).expect("DL slot sized for reply");
         ctx.dl_samples = phy::transport::sample_count(
             phy::transport::ShChConfig { modulation: phy::modulation::Modulation::Qpsk, c_init: 0 },
             dl_pdus[0].len(),

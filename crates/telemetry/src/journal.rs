@@ -94,6 +94,18 @@ pub enum JournalEvent {
         /// Typed drop reason (labels from `stack::overload::DropReason`).
         reason: &'static str,
     },
+    /// An inter-cell handover transition (trigger/detach/complete/
+    /// too-late/too-early/ping-pong — labels from `stack::handover`).
+    Handover {
+        /// Source cell index.
+        from: u8,
+        /// Target cell index.
+        to: u8,
+        /// Transition label.
+        label: &'static str,
+        /// Transition instant.
+        at: Instant,
+    },
     /// A GTP-U path-supervision transition (probe-lost/path-down/failover/
     /// restored — labels from `corenet::PathEventKind::label`).
     PathEvent {
@@ -125,6 +137,7 @@ impl JournalEvent {
             | JournalEvent::Rlf { at, .. }
             | JournalEvent::RrcReestablished { at, .. }
             | JournalEvent::Drop { at, .. }
+            | JournalEvent::Handover { at, .. }
             | JournalEvent::PathEvent { at, .. }
             | JournalEvent::Marker { at, .. } => at,
         }
@@ -141,6 +154,7 @@ impl JournalEvent {
             JournalEvent::Rlf { .. } => "rlf",
             JournalEvent::RrcReestablished { .. } => "rrc-reestablish",
             JournalEvent::Drop { .. } => "drop",
+            JournalEvent::Handover { .. } => "handover",
             JournalEvent::PathEvent { .. } => "path",
             JournalEvent::Marker { .. } => "marker",
         }
@@ -280,6 +294,7 @@ mod tests {
             JournalEvent::Rlf { ping: 0, dl: true, at: Instant::ZERO },
             JournalEvent::RrcReestablished { ping: 0, at: Instant::ZERO, ok: true },
             JournalEvent::Drop { ping: 0, at: Instant::ZERO, reason: "rlc-full" },
+            JournalEvent::Handover { from: 0, to: 1, label: "complete", at: Instant::ZERO },
             JournalEvent::PathEvent { label: "failover", at: Instant::ZERO },
             JournalEvent::Marker { layer: "sim", label: "tick", at: Instant::ZERO },
         ];

@@ -104,6 +104,7 @@ fn placement(ev: &JournalEvent) -> (u64, u64) {
         | JournalEvent::Drop { ping, .. } => (ping + 1, TID_EVENTS),
         JournalEvent::HarqNack { ping, .. } => (ping + 1, TID_EVENTS),
         JournalEvent::FaultInjected { .. } => (FABRIC_PID, TID_UL),
+        JournalEvent::Handover { .. } => (FABRIC_PID, TID_DL),
         JournalEvent::PathEvent { .. } => (FABRIC_PID, TID_DL),
         JournalEvent::Marker { .. } => (FABRIC_PID, TID_EVENTS),
     }
@@ -189,6 +190,16 @@ fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> String {
                 "{{\"name\":\"drop: {}\",\"cat\":\"overload\",\"ph\":\"i\",\"ts\":{},\
                  \"pid\":{pid},\"tid\":{tid},\"s\":\"t\"}}",
                 esc(reason),
+                ts_us(at.as_nanos()),
+            )
+            .unwrap();
+        }
+        JournalEvent::Handover { from, to, label, at } => {
+            write!(
+                s,
+                "{{\"name\":\"HO {}\",\"cat\":\"rrc\",\"ph\":\"i\",\"ts\":{},\"pid\":{pid},\
+                 \"tid\":{tid},\"s\":\"g\",\"args\":{{\"from\":{from},\"to\":{to}}}}}",
+                esc(label),
                 ts_us(at.as_nanos()),
             )
             .unwrap();

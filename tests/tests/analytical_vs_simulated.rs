@@ -49,6 +49,7 @@ fn protocol_only(duplex: Duplex, access: AccessMode) -> StackConfig {
         sr: ran::sr::SrConfig::default(),
         rach: ran::RachConfig::default(),
         rrc: ran::RrcConfig::default(),
+        handover: ran::HandoverConfig::default(),
         supervision: corenet::SupervisionConfig::edge(),
         backup_backbone: None,
         deadline: Duration::from_millis(8),
