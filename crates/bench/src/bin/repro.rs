@@ -23,9 +23,11 @@ use radio::{InterfaceKind, RadioHead, RadioHeadConfig};
 use ran::sched::AccessMode;
 use sim::{ArrivalProcess, Duration, FaultPlan, SimRng};
 use stack::{
-    run_mobility, run_overload, service_capacity_pps, DropReason, MobilityConfig, MobilityReport,
-    NullHook, OverloadConfig, OverloadReport, PingExperiment, StackConfig,
+    run_mobility, run_mobility_profiled, run_overload, run_overload_profiled, service_capacity_pps,
+    DropReason, HopId, MobilityConfig, MobilityReport, NullHook, OverloadConfig, OverloadReport,
+    PingExperiment, StackConfig,
 };
+use urllc_bench::ratchet::{parse_walls, RatchetBaseline, Tolerance, WallEntry};
 use urllc_bench::report::{
     ascii_histogram, ascii_series, bench_json, bench_log, bench_records_len, bench_truncate,
     bench_wall, summarize_chaos_recovery, to_csv, write_artifact,
@@ -89,6 +91,13 @@ fn main() {
         "handover" => timed("handover", handover),
         "metrics" => timed("metrics", || metrics(pings)),
         "trace" => timed("trace", || trace(pings, perfetto_out.clone())),
+        "profile" => timed("profile", || profile(pings)),
+        "ratchet" => {
+            // The gating check reads the BENCH of a *previous* run; it
+            // must not clobber that document with its own (empty) log.
+            ratchet_cmd(args.iter().any(|a| a == "--write"));
+            return;
+        }
         "all" => {
             timed("table1", table1);
             timed("table2", || table2(pings));
@@ -113,10 +122,11 @@ fn main() {
             timed("handover", handover);
             timed("metrics", || metrics(pings));
             timed("trace", || trace(pings, perfetto_out.clone()));
+            timed("profile", || profile(pings));
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|harq|rach|sixg|coexist|chaos|recovery|overload|handover|metrics|trace|all [--pings N] [--perfetto out.json] [--jobs N] [--compare]");
+            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|harq|rach|sixg|coexist|chaos|recovery|overload|handover|metrics|trace|profile|ratchet|all [--pings N] [--perfetto out.json] [--jobs N] [--compare] [--write]");
             std::process::exit(2);
         }
     }
@@ -1209,10 +1219,210 @@ fn trace(pings: u64, out: Option<String>) {
         events.len(),
         tel.journal_dropped()
     );
-    let json = telemetry::perfetto::chrome_trace_json(&events);
     let name = out.as_deref().unwrap_or("trace_perfetto.json");
-    save(name, &json);
+    let mut buf = Vec::new();
+    match telemetry::perfetto::export_chrome_trace(&mut buf, &events) {
+        Ok(()) => save(name, &String::from_utf8(buf).expect("chrome trace is UTF-8")),
+        Err(e) => {
+            // The typed export error distinguishes formatting failures
+            // from I/O failures at this call site.
+            eprintln!("[trace export failed: {e}]");
+            std::process::exit(1);
+        }
+    }
     println!("open the saved file at https://ui.perfetto.dev");
+}
+
+/// `repro profile` — tail forensics: the per-hop *host* wall-time profile
+/// (`profile.csv`, host clock — excluded from the determinism compare),
+/// the flight recorder's worst-K + forced exemplars with their p50-diff
+/// tail decomposition (`tail_exemplars.json`, byte-deterministic at any
+/// `--jobs`), and an exemplar-only Perfetto trace (`tail_perfetto.json`).
+fn profile(pings: u64) {
+    banner("Profile — per-hop wall-time profiler + tail-forensics flight recorder");
+    let n = pings.clamp(64, 2_000);
+    let prof = telemetry::Profiler::new();
+
+    // Chaotic grant-based journey: every grant-based hop plus the fault
+    // machinery under a harsh plan.
+    let cfg = StackConfig::testbed_dddu(AccessMode::GrantBased, true)
+        .with_seed(7)
+        .with_faults(FaultPlan::chaos(0.4));
+    let tel = telemetry::Telemetry::new(131_072);
+    let mut res = stack::run_parallel_profiled(&cfg, n, n as usize, Some(&tel), Some(&prof));
+    bench_log("profile", "rtt", &mut res.rtt);
+
+    // Recovery-heavy grant-free run: the UL-access and RLF-recovery hops
+    // (same burst recipe as `repro recovery`).
+    let mut rcfg = StackConfig::testbed_dddu(AccessMode::GrantFree, true).with_seed(31);
+    rcfg.harq_max_tx = 2;
+    rcfg.rlc_max_retx = 1;
+    rcfg.faults.channel_burst = Some(sim::GilbertElliott {
+        p_enter_bad: 0.3,
+        p_exit_bad: 0.4,
+        loss_good: 0.1,
+        loss_bad: 1.0,
+    });
+    let rtel = telemetry::Telemetry::new(131_072);
+    let mut rres = stack::run_parallel_profiled(&rcfg, n, n as usize, Some(&rtel), Some(&prof));
+    bench_log("profile", "recovery_rtt", &mut rres.rtt);
+
+    // Engine wall time: a short governed overload pass at capacity...
+    let ostack = StackConfig::testbed_dddu(AccessMode::GrantBased, true).with_seed(11);
+    let wire = ostack.payload_bytes + 3;
+    let mu = service_capacity_pps(&ostack, wire);
+    let mut ocfg = OverloadConfig::testbed(
+        ostack.clone(),
+        ArrivalProcess::poisson_pps(mu),
+        Duration::from_millis(100),
+    );
+    ocfg.embb = Some((ArrivalProcess::poisson_pps(500.0), 1200));
+    let orng = SimRng::from_seed(ostack.seed).stream("profile-overload");
+    let mut hook = NullHook;
+    let odark = telemetry::Telemetry::disabled();
+    let oreport = run_overload_profiled(&ocfg, &orng, &mut hook, &odark, &prof);
+    // ...and a chaotic mobility pass (handover failures become forced
+    // flight-recorder exemplars).
+    let mut mcfg =
+        MobilityConfig::for_speed(StackConfig::testbed_dddu(AccessMode::GrantBased, true), 30.0, 2);
+    mcfg.stack = mcfg.stack.with_seed(23).with_faults(FaultPlan::handover_chaos(1.0));
+    let mtel = telemetry::Telemetry::new(4_096);
+    let mreport = run_mobility_profiled(&mcfg, Some(&mtel), &prof);
+
+    // Per-hop coverage: every journey hop must have recorded self time.
+    let stages = prof.snapshot();
+    let covered: std::collections::BTreeSet<&str> = stages.iter().map(|s| s.stage).collect();
+    let missing: Vec<&str> =
+        HopId::ALL.iter().map(|h| h.name()).filter(|name| !covered.contains(name)).collect();
+    println!(
+        "hop coverage: {}/{} journey hops profiled{}",
+        HopId::ALL.len() - missing.len(),
+        HopId::ALL.len(),
+        if missing.is_empty() {
+            String::new()
+        } else {
+            format!("  (MISSING: {})", missing.join(", "))
+        }
+    );
+    println!("hottest stages (host wall time):");
+    for s in stages.iter().take(8) {
+        println!(
+            "  {:<24} count {:>8}  total {:>9.3} ms  p99 {:>8.1} µs",
+            s.stage, s.count, s.total_ms, s.p99_us
+        );
+    }
+    println!(
+        "engines: overload delivered {}/{}; mobility {} handovers, {} forced exemplars",
+        oreport.delivered,
+        oreport.offered,
+        mreport.handovers,
+        mtel.flight_exemplars().len()
+    );
+
+    // Tail decomposition: diff each figure's exemplars against its own
+    // p50 baseline and rank the hops'/faults' share of the gap.
+    let ex1 = tel.flight_exemplars();
+    let d1 = urllc_core::decompose_tail(&ex1, &urllc_core::TailBaseline::from_traces(&res.traces));
+    let ex2 = rtel.flight_exemplars();
+    let d2 = urllc_core::decompose_tail(&ex2, &urllc_core::TailBaseline::from_traces(&rres.traces));
+    println!(
+        "tail decomposition: chaos {} exemplars cover {:.1}% of the gap; recovery {} cover {:.1}%",
+        d1.exemplars,
+        d1.coverage * 100.0,
+        d2.exemplars,
+        d2.coverage * 100.0
+    );
+
+    save("profile.csv", &prof.to_csv());
+    let doc = format!(
+        "{{\n\"figures\": [\n\
+         {{\"figure\": \"chaos\",\n\"decomposition\": {},\n\"flight\": {}}},\n\
+         {{\"figure\": \"recovery\",\n\"decomposition\": {},\n\"flight\": {}}},\n\
+         {{\"figure\": \"handover\",\n\"flight\": {}}}\n]\n}}\n",
+        d1.to_json(),
+        tel.flight_json(),
+        d2.to_json(),
+        rtel.flight_json(),
+        mtel.flight_json(),
+    );
+    save("tail_exemplars.json", &doc);
+
+    // Exemplar-only Perfetto trace: the chaos figure's journal filtered
+    // to the retained pings.
+    let keep: std::collections::BTreeSet<u64> = ex1.iter().map(|e| e.ping).collect();
+    let events: Vec<_> = tel
+        .journal_events()
+        .into_iter()
+        .filter(|ev| ev.ping().is_some_and(|p| keep.contains(&p)))
+        .collect();
+    let mut buf = Vec::new();
+    match telemetry::perfetto::export_chrome_trace(&mut buf, &events) {
+        Ok(()) => save("tail_perfetto.json", &String::from_utf8(buf).expect("trace is UTF-8")),
+        Err(e) => {
+            eprintln!("[tail trace export failed: {e}]");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro ratchet [--write]` — the gating wall-time check: judges the
+/// wall times of the last `repro` run (`results/BENCH_repro.json`)
+/// against the checked-in `ci/wall_baseline.json` and exits non-zero on
+/// a regression. `--write` regenerates the baseline from the last run
+/// (keeping the existing tolerance band).
+fn ratchet_cmd(write: bool) {
+    let bench_path = "results/BENCH_repro.json";
+    let bench = match std::fs::read_to_string(bench_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ratchet: cannot read {bench_path}: {e} (run `repro all` first)");
+            std::process::exit(1);
+        }
+    };
+    let walls = parse_walls(&bench);
+    let baseline_path = "ci/wall_baseline.json";
+    if write {
+        let tolerance = std::fs::read_to_string(baseline_path)
+            .ok()
+            .and_then(|t| RatchetBaseline::parse(&t))
+            .map(|b| b.tolerance)
+            .unwrap_or(Tolerance { max_ratio: 3.0, slack_ms: 500.0 });
+        // Slowest sample per figure, first-appearance order.
+        let mut dedup: Vec<WallEntry> = Vec::new();
+        for w in &walls {
+            match dedup.iter_mut().find(|d| d.figure == w.figure) {
+                Some(d) => d.wall_ms = d.wall_ms.max(w.wall_ms),
+                None => dedup.push(w.clone()),
+            }
+        }
+        let base = RatchetBaseline { tolerance, walls: dedup };
+        if let Err(e) = std::fs::create_dir_all("ci")
+            .and_then(|()| std::fs::write(baseline_path, base.to_json()))
+        {
+            eprintln!("ratchet: cannot write {baseline_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("ratchet: wrote {} figure baseline(s) to {baseline_path}", base.walls.len());
+        return;
+    }
+    let base = match std::fs::read_to_string(baseline_path)
+        .ok()
+        .and_then(|t| RatchetBaseline::parse(&t))
+    {
+        Some(b) => b,
+        None => {
+            eprintln!(
+                "ratchet: missing or malformed {baseline_path}; \
+                 regenerate with `repro ratchet --write` after `repro all`"
+            );
+            std::process::exit(1);
+        }
+    };
+    let report = base.check(&walls);
+    print!("{}", report.render(&base.tolerance));
+    if !report.ok() {
+        std::process::exit(1);
+    }
 }
 
 fn save(name: &str, contents: &str) {

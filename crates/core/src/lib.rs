@@ -52,7 +52,10 @@ pub mod reliability;
 pub mod slo;
 pub mod worst_case;
 
-pub use audit::{audit_traces, BudgetAudit};
+pub use audit::{
+    audit_traces, decompose_tail, BudgetAudit, TailBaseline, TailContribution, TailDecomposition,
+    RESIDUAL_LABEL,
+};
 pub use decompose::{LatencyBreakdown, SourceShare};
 pub use design::{DesignPoint, DesignSearch, DesignVerdict};
 pub use feasibility::{feasibility_table, paper_table1, FeasibilityTable};

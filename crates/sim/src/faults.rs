@@ -468,6 +468,16 @@ impl PingFaultTrace {
         self.extra.iter().fold(Duration::ZERO, |acc, &d| acc + d)
     }
 
+    /// Per-kind `(kind, extra latency, event count)` contributions in
+    /// tally order, restricted to kinds that actually fired — the flight
+    /// recorder's fault-attribution feed.
+    pub fn contributions(&self) -> impl Iterator<Item = (FaultKind, Duration, u64)> + '_ {
+        FaultKind::ALL
+            .into_iter()
+            .filter(|k| self.events[k.index()] > 0)
+            .map(|k| (k, self.extra[k.index()], self.events[k.index()]))
+    }
+
     /// The fault that dominated this ping: most extra latency, ties broken
     /// by event count. `None` when the ping saw no faults.
     pub fn dominant(&self) -> Option<FaultKind> {

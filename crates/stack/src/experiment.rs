@@ -27,7 +27,10 @@ use sim::{
     LatencyRecorder, PingFaultTrace, SimRng, StreamingStats, Summary,
 };
 
-use telemetry::{JournalEvent, Telemetry, TelemetrySummary};
+use telemetry::{
+    ExemplarOutcome, ExemplarSpan, JournalEvent, Profiler, TailExemplar, Telemetry,
+    TelemetrySummary,
+};
 
 use crate::config::StackConfig;
 use crate::journey::{PingTrace, StageSpan};
@@ -209,6 +212,9 @@ pub struct PingExperiment {
     pub(crate) supervisor: PathSupervisor,
     pub(crate) traces_wanted: usize,
     pub(crate) tel: Telemetry,
+    /// Host wall-time profiler (disabled by default; never touches sim
+    /// state, so profiled and dark runs stay bit-identical).
+    pub(crate) prof: Profiler,
     /// The shared future-event queue every ping episode drains.
     pub(crate) events: EventQueue<PingEvent>,
     /// Sequence number of the ping currently in flight (journal context).
@@ -256,6 +262,7 @@ impl PingExperiment {
             supervisor: PathSupervisor::new(config.supervision),
             traces_wanted: 3,
             tel: Telemetry::disabled(),
+            prof: Profiler::disabled(),
             events: EventQueue::new(),
             ping: 0,
             gnb,
@@ -298,6 +305,14 @@ impl PingExperiment {
     /// [`attach_telemetry`](Self::attach_telemetry) ran).
     pub fn telemetry(&self) -> &Telemetry {
         &self.tel
+    }
+
+    /// Attaches a host wall-time profiler: the event driver opens one
+    /// scope per hop dispatch, keyed by [`crate::HopId::name`]. The
+    /// profiler reads only the host clock — no RNG draws, no sim time —
+    /// so profiled and dark runs stay bit-identical.
+    pub fn attach_profiler(&mut self, prof: Profiler) {
+        self.prof = prof;
     }
 
     /// Runs `n` pings with the default inter-ping spacing of five pattern
@@ -590,9 +605,18 @@ impl PingExperiment {
         self.events.clear();
         self.events.rewind(t0);
         self.events.push(t0, PingEvent::Arrival);
+        // Cheap handle clone so the scope guard can borrow it while the
+        // dispatch takes `&mut self`. Inert when no profiler is attached.
+        let prof = self.prof.clone();
+        let mut lost = false;
+        let mut max_depth = self.events.len();
         while let Some((at, ev)) = self.events.pop() {
             let mut fx = HopFx::new();
-            chain.dispatch(self, &mut ctx, result, at, ev, &mut fx);
+            {
+                // Dispatches are non-reentrant, so elapsed == self-time.
+                let _hop_time = prof.scope(ev.hop().name());
+                chain.dispatch(self, &mut ctx, result, at, ev, &mut fx);
+            }
             for (side, span) in fx.spans {
                 match side {
                     Side::Ul => ctx.trace.ul.push(span),
@@ -602,10 +626,12 @@ impl PingExperiment {
             for (t, e) in fx.emits {
                 self.events.push(t, e);
             }
+            max_depth = max_depth.max(self.events.len());
             match fx.outcome {
                 HopOutcome::Continue => {}
                 HopOutcome::Lost => {
                     result.attribution.record_lost(ctx.ftrace.dominant());
+                    lost = true;
                     self.events.clear();
                 }
                 HopOutcome::Done => self.events.clear(),
@@ -626,6 +652,40 @@ impl PingExperiment {
             for s in &ctx.trace.dl {
                 self.tel.journal_stage(id, true, s.label, s.start, s.end);
             }
+        }
+        // Hand the full forensic record to the flight recorder: worst-K
+        // retention plus forced retention of every deadline-miss, RLF and
+        // lost ping. Pure observation of sim-time state — no RNG draws,
+        // no sim-time mutation — so dark runs stay bit-identical.
+        if self.tel.is_enabled() {
+            let spans = ctx.trace.ul.iter().zip(std::iter::repeat(false));
+            let spans = spans.chain(ctx.trace.dl.iter().zip(std::iter::repeat(true)));
+            let end = spans.clone().map(|(s, _)| s.end).max().unwrap_or(t0);
+            let rtt = end.checked_duration_since(t0).unwrap_or(Duration::ZERO);
+            let outcome = if lost {
+                ExemplarOutcome::Lost
+            } else if rtt > self.config.deadline {
+                ExemplarOutcome::Late
+            } else {
+                ExemplarOutcome::OnTime
+            };
+            let rlf_hit = spans.clone().any(|(s, _)| s.label == labels::RLF_DETECT);
+            let fault = ctx.ftrace.dominant().map(FaultKind::label);
+            self.tel.record_with_exemplar("journey", "rtt", rtt, id);
+            let exemplar = TailExemplar {
+                ping: id,
+                rtt,
+                outcome,
+                fault,
+                fault_extra: ctx.ftrace.contributions().map(|(k, d, _)| (k.label(), d)).collect(),
+                drop_reason: if lost { Some(fault.unwrap_or("unattributed")) } else { None },
+                max_queue_depth: max_depth,
+                sched_rounds: ctx.sched_rounds + ctx.dl_sched_rounds,
+                spans: spans
+                    .map(|(s, dl)| ExemplarSpan { label: s.label, dl, start: s.start, end: s.end })
+                    .collect(),
+            };
+            self.tel.flight_record(exemplar, lost || outcome == ExemplarOutcome::Late || rlf_hit);
         }
         if result.traces.len() < self.traces_wanted {
             result.traces.push(ctx.trace);
@@ -663,7 +723,21 @@ pub fn run_parallel_opts(
     traces: usize,
     tel: Option<&Telemetry>,
 ) -> ExperimentResult {
-    run_sharded(config, n, traces, tel, None)
+    run_sharded(config, n, traces, tel, None, None)
+}
+
+/// [`run_parallel_opts`] with a host wall-time [`Profiler`]: each shard
+/// records into a profiler sibling (no cross-thread lock contention
+/// inflating the measured times) and the reducer folds them back into
+/// `prof`. Sim-time results stay bit-identical with or without it.
+pub fn run_parallel_profiled(
+    config: &StackConfig,
+    n: u64,
+    traces: usize,
+    tel: Option<&Telemetry>,
+    prof: Option<&Profiler>,
+) -> ExperimentResult {
+    run_sharded(config, n, traces, tel, prof, None)
 }
 
 /// [`run_parallel_opts`] with an explicit worker count — the determinism
@@ -676,7 +750,7 @@ pub fn run_parallel_workers(
     tel: Option<&Telemetry>,
     workers: usize,
 ) -> ExperimentResult {
-    run_sharded(config, n, traces, tel, Some(workers))
+    run_sharded(config, n, traces, tel, None, Some(workers))
 }
 
 fn run_sharded(
@@ -684,6 +758,7 @@ fn run_sharded(
     n: u64,
     traces: usize,
     tel: Option<&Telemetry>,
+    prof: Option<&Profiler>,
     workers: Option<usize>,
 ) -> ExperimentResult {
     let spacing = config.duplex.pattern_period() * 5;
@@ -697,16 +772,23 @@ fn run_sharded(
         if let Some(t) = &shard_tel {
             exp.attach_telemetry(t.clone());
         }
-        (exp.run_span(start, len, spacing), shard_tel)
+        let shard_prof = prof.map(Profiler::sibling);
+        if let Some(p) = &shard_prof {
+            exp.attach_profiler(p.clone());
+        }
+        (exp.run_span(start, len, spacing), shard_tel, shard_prof)
     };
     let shards = match workers {
         Some(w) => sim::parallel::run_shards_with(w, ranges.len(), run_shard),
         None => sim::parallel::run_shards(ranges.len(), run_shard),
     };
     let mut result = ExperimentResult::default();
-    for (shard, shard_tel) in shards {
+    for (shard, shard_tel, shard_prof) in shards {
         result.merge(shard);
         if let (Some(parent), Some(child)) = (tel, shard_tel.as_ref()) {
+            parent.absorb(child);
+        }
+        if let (Some(parent), Some(child)) = (prof, shard_prof.as_ref()) {
             parent.absorb(child);
         }
     }

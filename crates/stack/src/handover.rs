@@ -33,7 +33,7 @@ use sim::{
     Duration, FaultAttribution, FaultInjector, FaultKind, FaultTally, Instant, LatencyRecorder,
     PingFaultTrace, SimRng,
 };
-use telemetry::{JournalEvent, Telemetry};
+use telemetry::{ExemplarOutcome, ExemplarSpan, JournalEvent, Profiler, TailExemplar, Telemetry};
 
 use crate::config::StackConfig;
 
@@ -205,6 +205,7 @@ struct Window {
 struct MobilitySim<'a> {
     cfg: &'a MobilityConfig,
     tel: Telemetry,
+    prof: Profiler,
     inj: FaultInjector,
     gnb: [PdcpEntity; 2],
     ue: PdcpEntity,
@@ -220,6 +221,9 @@ struct MobilitySim<'a> {
     executions: u64,
     completed: u64,
     fwd_losses: u64,
+    /// Monotone id for resolved interruption windows — the flight
+    /// recorder's "ping" id for handover-failure exemplars.
+    flushed: u64,
     offered: u64,
     delivered: u64,
     out_of_order: u64,
@@ -258,6 +262,7 @@ impl MobilitySim<'_> {
         MobilitySim {
             cfg,
             tel,
+            prof: Profiler::disabled(),
             inj,
             gnb,
             ue,
@@ -272,6 +277,7 @@ impl MobilitySim<'_> {
             executions: 0,
             completed: 0,
             fwd_losses: 0,
+            flushed: 0,
             offered: 0,
             delivered: 0,
             out_of_order: 0,
@@ -325,8 +331,9 @@ impl MobilitySim<'_> {
         // Deliver the forwarded PDUs in COUNT order; they pair 1:1 with
         // the held packets in send order.
         let held = std::mem::take(&mut self.held);
+        let held_len = held.len();
         let forwarded = receiver.drain();
-        debug_assert_eq!(held.len(), forwarded.len());
+        debug_assert_eq!(held_len, forwarded.len());
         for (pdu, (idx, sent_at)) in forwarded.iter().zip(held) {
             let sdus = self.ue.rx_decode(pdu).expect("forwarded PDU deciphers");
             let d = w.resume - sent_at;
@@ -345,6 +352,37 @@ impl MobilitySim<'_> {
 
         let interruption = w.resume - w.detach;
         self.interruption.record(interruption);
+        self.flushed += 1;
+        if self.tel.is_enabled() && (w.kind.is_some() || w.fwd_lost) {
+            // Handover failure: a forced flight-recorder exemplar keeps
+            // the window's full evidence even when its interruption is
+            // shorter than the worst-K data-path tails.
+            let label = w.kind.unwrap_or(FaultKind::HoForwardingLoss).label();
+            let mut fault_extra = Vec::new();
+            if let Some(kind) = w.kind {
+                fault_extra.push((kind.label(), interruption));
+            }
+            if w.fwd_lost {
+                fault_extra
+                    .push((FaultKind::HoForwardingLoss.label(), self.ho.config().xn_delay * 2));
+            }
+            let exemplar = TailExemplar {
+                ping: self.flushed - 1,
+                rtt: interruption,
+                outcome: if interruption > self.cfg.stack.deadline {
+                    ExemplarOutcome::Late
+                } else {
+                    ExemplarOutcome::OnTime
+                },
+                fault: Some(label),
+                fault_extra,
+                drop_reason: None,
+                max_queue_depth: held_len,
+                sched_rounds: 0,
+                spans: vec![ExemplarSpan { label, dl: true, start: w.detach, end: w.resume }],
+            };
+            self.tel.flight_record(exemplar, true);
+        }
         if w.via_handover {
             self.completed += 1;
             self.ho.record_complete(interruption);
@@ -527,15 +565,19 @@ impl MobilitySim<'_> {
     }
 
     fn run(mut self) -> MobilityReport {
+        // Clone the handle so the scope guard's borrow doesn't pin `self`.
+        let prof = self.prof.clone();
         let mut pkt = 0u64;
         let mut meas = 0u64;
         while pkt < self.cfg.n_packets {
             let t_pkt = Instant::ZERO + self.cfg.packet_interval * pkt;
             let t_meas = Instant::ZERO + self.cfg.meas_period * meas;
             if t_meas <= t_pkt {
+                let _t = prof.scope("handover/meas");
                 self.on_meas(t_meas);
                 meas += 1;
             } else {
+                let _t = prof.scope("handover/packet");
                 self.on_packet(pkt, t_pkt);
                 pkt += 1;
             }
@@ -543,6 +585,7 @@ impl MobilitySim<'_> {
         // Final drain: resolve every outstanding window so nothing stays
         // in flight.
         while !self.windows.is_empty() {
+            let _t = prof.scope("handover/flush");
             self.flush_front();
         }
         let in_flight =
@@ -571,6 +614,20 @@ impl MobilitySim<'_> {
 /// shuttling UE's handovers, under the configured fault plan.
 pub fn run_mobility(cfg: &MobilityConfig, tel: Option<&Telemetry>) -> MobilityReport {
     MobilitySim::new(cfg, tel).run()
+}
+
+/// [`run_mobility`] with a host wall-time [`Profiler`] wrapped around each
+/// engine event class (`handover/meas`, `handover/packet`,
+/// `handover/flush`). The profiler reads only the host clock; the report
+/// is bit-identical with or without it.
+pub fn run_mobility_profiled(
+    cfg: &MobilityConfig,
+    tel: Option<&Telemetry>,
+    prof: &Profiler,
+) -> MobilityReport {
+    let mut sim = MobilitySim::new(cfg, tel);
+    sim.prof = prof.clone();
+    sim.run()
 }
 
 #[cfg(test)]

@@ -40,15 +40,17 @@ pub mod stage_labels;
 pub use coexistence::{coexistence_sweep, CoexistencePoint, CoexistencePolicy};
 pub use config::{DlPullPoint, StackConfig};
 pub use experiment::{
-    run_parallel, run_parallel_opts, run_parallel_workers, ExperimentResult, PingExperiment,
-    RlfEvent, BATCH_PINGS,
+    run_parallel, run_parallel_opts, run_parallel_profiled, run_parallel_workers, ExperimentResult,
+    PingExperiment, RlfEvent, BATCH_PINGS,
 };
-pub use handover::{run_mobility, MobilityConfig, MobilityReport, SignalTrajectory};
+pub use handover::{
+    run_mobility, run_mobility_profiled, MobilityConfig, MobilityReport, SignalTrajectory,
+};
 pub use journey::{PingTrace, StageSpan};
 pub use multi_ue::{run_multi_ue, scalability_sweep, MultiUeConfig, MultiUeResult};
 pub use node::{GnbStack, StackError, UeStack};
 pub use overload::{
-    run_overload, service_capacity_pps, DegradationLevel, DropCounts, DropReason, NullHook,
-    OverloadConfig, OverloadReport, SloHook,
+    run_overload, run_overload_profiled, service_capacity_pps, DegradationLevel, DropCounts,
+    DropReason, NullHook, OverloadConfig, OverloadReport, SloHook,
 };
 pub use pipeline::{Hop, HopChain, HopFx, HopId, HopOutcome, PingCtx, PingEvent, Side};

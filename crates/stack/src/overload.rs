@@ -33,7 +33,7 @@ use ran::mac::MacBacklog;
 use ran::pdcp::{Direction, PdcpConfig, PdcpEntity};
 use ran::rlc::{RlcError, RlcUmEntity};
 use sim::{ArrivalGen, ArrivalProcess, Duration, EventQueue, Instant, SimRng};
-use telemetry::{JournalEvent, LogLinearHistogram, Telemetry};
+use telemetry::{JournalEvent, LogLinearHistogram, Profiler, Telemetry};
 
 use crate::config::StackConfig;
 
@@ -514,6 +514,20 @@ pub fn run_overload(
     hook: &mut dyn SloHook,
     tel: &Telemetry,
 ) -> OverloadReport {
+    run_overload_profiled(cfg, rng, hook, tel, &Profiler::disabled())
+}
+
+/// [`run_overload`] with a host wall-time [`Profiler`] wrapped around each
+/// engine event class (`overload/urllc-arrival`, `overload/embb-arrival`,
+/// `overload/slot`). The profiler reads only the host clock; the report is
+/// bit-identical with or without it.
+pub fn run_overload_profiled(
+    cfg: &OverloadConfig,
+    rng: &SimRng,
+    hook: &mut dyn SloHook,
+    tel: &Telemetry,
+    prof: &Profiler,
+) -> OverloadReport {
     let stack = &cfg.stack;
     let horizon = Instant::ZERO + cfg.horizon;
     // Drain budget: generous, but bounded — a wedged pipeline surfaces as
@@ -590,6 +604,7 @@ pub fn run_overload(
     while let Some((now, ev)) = queue.pop() {
         match ev {
             Ev::UrllcArrival => {
+                let _t = prof.scope("overload/urllc-arrival");
                 let count = engine.pdcp.tx_enqueue(now, payload.clone());
                 debug_assert_eq!(count as usize, engine.arrivals_by_count.len());
                 engine.arrivals_by_count.push(now);
@@ -600,6 +615,7 @@ pub fn run_overload(
                 }
             }
             Ev::EmbbArrival => {
+                let _t = prof.scope("overload/embb-arrival");
                 engine.report.embb_offered_bytes += embb_bytes as u64;
                 if hook.level() >= DegradationLevel::Degraded {
                     // Byte-ledger only: `drops` counts URLLC packets, and
@@ -632,6 +648,7 @@ pub fn run_overload(
                 }
             }
             Ev::Slot(slot) => {
+                let _t = prof.scope("overload/slot");
                 engine.on_slot(now, hook);
                 // Schedule the next DL slot while arrivals remain or any
                 // stage still holds data (bounded by the drain limit).

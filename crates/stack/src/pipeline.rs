@@ -174,7 +174,56 @@ pub enum HopId {
 }
 
 /// Number of hops in the standard chain.
-const HOP_COUNT: usize = HopId::UeRxUp as usize + 1;
+pub const HOP_COUNT: usize = HopId::UeRxUp as usize + 1;
+
+impl HopId {
+    /// Every hop, in journey order (profiler coverage iterates this).
+    pub const ALL: [HopId; HOP_COUNT] = [
+        HopId::AppDown,
+        HopId::UlAccess,
+        HopId::SrTx,
+        HopId::SrDecode,
+        HopId::UlSchedRequest,
+        HopId::UlSched,
+        HopId::GrantRx,
+        HopId::UlTx,
+        HopId::HarqDelivery,
+        HopId::RlfRecovery,
+        HopId::GnbRadio,
+        HopId::GnbWalkUp,
+        HopId::Backbone,
+        HopId::DlWalkDown,
+        HopId::DlSched,
+        HopId::DlPrep,
+        HopId::RadioRing,
+        HopId::UeRxUp,
+    ];
+
+    /// Stable snake-case name — the profiler's stage key and the
+    /// `profile.csv` row identity.
+    pub fn name(self) -> &'static str {
+        match self {
+            HopId::AppDown => "app_down",
+            HopId::UlAccess => "ul_access",
+            HopId::SrTx => "sr_tx",
+            HopId::SrDecode => "sr_decode",
+            HopId::UlSchedRequest => "ul_sched_request",
+            HopId::UlSched => "ul_sched",
+            HopId::GrantRx => "grant_rx",
+            HopId::UlTx => "ul_tx",
+            HopId::HarqDelivery => "harq_delivery",
+            HopId::RlfRecovery => "rlf_recovery",
+            HopId::GnbRadio => "gnb_radio",
+            HopId::GnbWalkUp => "gnb_walk_up",
+            HopId::Backbone => "backbone",
+            HopId::DlWalkDown => "dl_walk_down",
+            HopId::DlSched => "dl_sched",
+            HopId::DlPrep => "dl_prep",
+            HopId::RadioRing => "radio_ring",
+            HopId::UeRxUp => "ue_rx_up",
+        }
+    }
+}
 
 impl PingEvent {
     /// The hop consuming this event.

@@ -11,17 +11,41 @@
 //! an instrumented run and a dark run produce bit-identical results (the
 //! determinism test in `tests/` holds this line).
 
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use sim::{Duration, Instant};
 
+use crate::flight::{FlightRecorder, TailExemplar, DEFAULT_FORCED_CAP, DEFAULT_WORST_K};
 use crate::journal::{EventJournal, JournalEvent};
 use crate::registry::{MetricKey, MetricsRegistry, MetricsSnapshot};
+
+/// Times a telemetry/profiler mutex was found poisoned and recovered.
+static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+/// Locks a telemetry-owned mutex, recovering from poisoning instead of
+/// panicking: a shard that panicked mid-record leaves at worst one
+/// half-written observation, which must not cascade into the merge path
+/// and take the whole sweep down. Every recovery is counted (see
+/// [`poison_recoveries`]) so it is observable rather than silent.
+pub(crate) fn recover_lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+        poisoned.into_inner()
+    })
+}
+
+/// How many times a poisoned telemetry/profiler mutex was recovered
+/// (process-wide, monotonic). Zero in a healthy run.
+pub fn poison_recoveries() -> u64 {
+    POISON_RECOVERIES.load(Ordering::Relaxed)
+}
 
 #[derive(Debug)]
 struct TelemetryInner {
     registry: MetricsRegistry,
     journal: EventJournal,
+    flight: FlightRecorder,
 }
 
 /// Shared telemetry sink; see the module docs.
@@ -31,12 +55,15 @@ pub struct Telemetry {
 }
 
 impl Telemetry {
-    /// An enabled handle with a journal ring of `journal_capacity` events.
+    /// An enabled handle with a journal ring of `journal_capacity` events
+    /// and an always-on flight recorder at the default retention
+    /// ([`DEFAULT_WORST_K`] slowest + up to [`DEFAULT_FORCED_CAP`] forced).
     pub fn new(journal_capacity: usize) -> Telemetry {
         Telemetry {
             inner: Some(Arc::new(Mutex::new(TelemetryInner {
                 registry: MetricsRegistry::new(),
                 journal: EventJournal::new(journal_capacity),
+                flight: FlightRecorder::new(DEFAULT_WORST_K, DEFAULT_FORCED_CAP),
             }))),
         }
     }
@@ -52,7 +79,7 @@ impl Telemetry {
     }
 
     fn with<R>(&self, f: impl FnOnce(&mut TelemetryInner) -> R) -> Option<R> {
-        self.inner.as_ref().map(|inner| f(&mut inner.lock().expect("telemetry mutex poisoned")))
+        self.inner.as_ref().map(|inner| f(&mut recover_lock(inner)))
     }
 
     /// Adds `n` to counter `layer/name`.
@@ -79,6 +106,21 @@ impl Telemetry {
     /// Records a duration into histogram `layer/name`.
     pub fn record(&self, layer: &'static str, name: &'static str, d: Duration) {
         self.with(|t| t.registry.record(MetricKey::new(layer, name), d));
+    }
+
+    /// Records a duration into histogram `layer/name`, attaching `ping`
+    /// as an OpenMetrics-style bucket exemplar so the quantile report can
+    /// name a concrete replayable ping per bucket.
+    pub fn record_with_exemplar(
+        &self,
+        layer: &'static str,
+        name: &'static str,
+        d: Duration,
+        ping: u64,
+    ) {
+        self.with(|t| {
+            t.registry.record_ns_with_exemplar(MetricKey::new(layer, name), d.as_nanos(), ping)
+        });
     }
 
     /// Records a duration into histogram `layer/name{label}`.
@@ -108,6 +150,26 @@ impl Telemetry {
         end: Instant,
     ) {
         self.journal(JournalEvent::Stage { ping, dl, label, start, end });
+    }
+
+    /// Hands one completed ping's forensic record to the flight recorder.
+    /// `forced` marks pings that must be retained regardless of rank
+    /// (deadline miss, RLF, loss, handover failure).
+    pub fn flight_record(&self, exemplar: TailExemplar, forced: bool) {
+        self.with(|t| t.flight.observe(exemplar, forced));
+    }
+
+    /// The flight recorder's retained exemplars, slowest first (empty
+    /// when disabled).
+    pub fn flight_exemplars(&self) -> Vec<TailExemplar> {
+        self.with(|t| t.flight.exemplars().into_iter().cloned().collect()).unwrap_or_default()
+    }
+
+    /// The flight recorder's deterministic JSON export (the
+    /// `tail_exemplars.json` section body). Empty-recorder JSON when
+    /// disabled.
+    pub fn flight_json(&self) -> String {
+        self.with(|t| t.flight.to_json()).unwrap_or_else(|| FlightRecorder::default().to_json())
     }
 
     /// Snapshot of all metrics (empty when disabled).
@@ -150,10 +212,11 @@ impl Telemetry {
         if Arc::ptr_eq(mine, theirs) {
             return;
         }
-        let theirs = theirs.lock().expect("telemetry mutex poisoned");
-        let mut mine = mine.lock().expect("telemetry mutex poisoned");
+        let theirs = recover_lock(theirs);
+        let mut mine = recover_lock(mine);
         mine.registry.merge(&theirs.registry);
         mine.journal.absorb(&theirs.journal);
+        mine.flight.merge(&theirs.flight);
     }
 
     /// Compact summary for embedding in experiment results.
@@ -273,6 +336,56 @@ mod tests {
         assert_eq!(parent.journal_events().len(), 4);
         // A disabled parent spawns disabled siblings.
         assert!(!Telemetry::disabled().sibling().is_enabled());
+    }
+
+    #[test]
+    fn poisoned_mutex_recovers_and_is_counted() {
+        let t = Telemetry::new(4);
+        t.count("mac", "harq_retx", 1);
+        // Poison the sink: panic while holding the lock on another thread.
+        let t2 = t.clone();
+        let before = poison_recoveries();
+        let _ = std::thread::spawn(move || {
+            t2.with(|_| panic!("shard dies mid-record"));
+        })
+        .join();
+        // The handle keeps working instead of cascading the panic into
+        // the merge path, and the recovery is observable.
+        t.count("mac", "harq_retx", 2);
+        assert_eq!(t.snapshot().counter("mac", "harq_retx"), Some(3));
+        let parent = Telemetry::new(4);
+        parent.absorb(&t);
+        assert_eq!(parent.snapshot().counter("mac", "harq_retx"), Some(3));
+        assert!(poison_recoveries() > before);
+    }
+
+    #[test]
+    fn flight_recorder_reduces_through_sibling_absorb() {
+        use crate::flight::{ExemplarOutcome, TailExemplar};
+        let mk = |ping: u64, rtt_us: u64| TailExemplar {
+            ping,
+            rtt: Duration::from_micros(rtt_us),
+            outcome: ExemplarOutcome::OnTime,
+            fault: None,
+            fault_extra: Vec::new(),
+            drop_reason: None,
+            max_queue_depth: 1,
+            sched_rounds: 1,
+            spans: Vec::new(),
+        };
+        let parent = Telemetry::new(4);
+        let a = parent.sibling();
+        let b = parent.sibling();
+        a.flight_record(mk(1, 100), false);
+        b.flight_record(mk(2, 900), true);
+        parent.absorb(&a);
+        parent.absorb(&b);
+        let exs = parent.flight_exemplars();
+        assert_eq!(exs.len(), 2);
+        assert_eq!(exs[0].ping, 2); // slowest first
+        assert!(parent.flight_json().contains("\"ping\":2"));
+        assert!(Telemetry::disabled().flight_exemplars().is_empty());
+        assert!(Telemetry::disabled().flight_json().contains("\"retained\": 0"));
     }
 
     #[test]

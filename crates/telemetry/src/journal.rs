@@ -143,6 +143,25 @@ impl JournalEvent {
         }
     }
 
+    /// Ping the event belongs to, `None` for events that are not
+    /// per-ping (fault injections, path/handover transitions, markers).
+    /// The flight recorder's exemplar-only trace export filters on this.
+    pub fn ping(&self) -> Option<u64> {
+        match *self {
+            JournalEvent::Stage { ping, .. }
+            | JournalEvent::Grant { ping, .. }
+            | JournalEvent::SrAttempt { ping, .. }
+            | JournalEvent::HarqNack { ping, .. }
+            | JournalEvent::Rlf { ping, .. }
+            | JournalEvent::RrcReestablished { ping, .. }
+            | JournalEvent::Drop { ping, .. } => Some(ping),
+            JournalEvent::FaultInjected { .. }
+            | JournalEvent::Handover { .. }
+            | JournalEvent::PathEvent { .. }
+            | JournalEvent::Marker { .. } => None,
+        }
+    }
+
     /// Short kind tag (metrics labels, debugging).
     pub fn kind_name(&self) -> &'static str {
         match self {

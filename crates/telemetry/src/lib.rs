@@ -13,6 +13,13 @@
 //!   RLF/recovery transitions, path failovers).
 //! * [`perfetto`] — a Chrome trace-event / Perfetto JSON exporter that
 //!   renders the journal as a flamegraph-style timeline.
+//! * [`FlightRecorder`] — an always-on, bounded tail-forensics buffer
+//!   retaining full evidence (spans, fault attribution, drop reasons,
+//!   queue depths) for the K slowest pings plus every deadline-miss /
+//!   RLF / loss / handover-failure ping.
+//! * [`Profiler`] — a *host* wall-time profiler (scoped timers around
+//!   hop dispatches), kept strictly apart from sim-time telemetry so
+//!   host noise can never reach a deterministic artifact.
 //! * [`Telemetry`] — the cheap cloneable handle threaded through the
 //!   stack; disabled by default, in which case every call is a no-op.
 //!
@@ -23,14 +30,22 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod handle;
 pub mod journal;
 pub mod perfetto;
+pub mod profiler;
 pub mod registry;
 
-pub use handle::{Telemetry, TelemetrySummary};
+pub use flight::{
+    ExemplarOutcome, ExemplarSpan, FlightRecorder, TailExemplar, DEFAULT_FORCED_CAP,
+    DEFAULT_WORST_K,
+};
+pub use handle::{poison_recoveries, Telemetry, TelemetrySummary};
 pub use journal::{EventJournal, JournalEvent};
+pub use perfetto::TraceExportError;
+pub use profiler::{ProfScope, Profiler, StageProfile};
 pub use registry::{
-    HistogramSummary, LogLinearHistogram, MetricKey, MetricRow, MetricValue, MetricsRegistry,
-    MetricsSnapshot, SUB_BUCKETS,
+    BucketExemplar, ExemplarRow, HistogramSummary, LogLinearHistogram, MetricKey, MetricRow,
+    MetricValue, MetricsRegistry, MetricsSnapshot, SUB_BUCKETS,
 };

@@ -12,10 +12,55 @@
 //! nanosecond precision, and the whole export is deterministic (the
 //! golden-file test compares it byte for byte).
 
+use core::fmt;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+use std::io;
 
 use crate::journal::JournalEvent;
+
+/// Why a trace export failed. Formatting into an in-memory `String`
+/// cannot fail, so in practice every real failure is an [`io::Error`]
+/// from the destination (disk full, permission, closed pipe) — but the
+/// formatter path is typed rather than unwrapped so no exporter code
+/// panics.
+#[derive(Debug)]
+pub enum TraceExportError {
+    /// The trace document could not be formatted.
+    Format(fmt::Error),
+    /// The destination writer failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for TraceExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceExportError::Format(e) => write!(f, "trace formatting failed: {e}"),
+            TraceExportError::Io(e) => write!(f, "trace write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceExportError::Format(e) => Some(e),
+            TraceExportError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for TraceExportError {
+    fn from(e: io::Error) -> TraceExportError {
+        TraceExportError::Io(e)
+    }
+}
+
+impl From<fmt::Error> for TraceExportError {
+    fn from(e: fmt::Error) -> TraceExportError {
+        TraceExportError::Format(e)
+    }
+}
 
 /// Process id used for events not tied to one ping (faults, path
 /// supervision). Ping `n` maps to pid `n + 1`.
@@ -38,7 +83,34 @@ fn ts_us(nanos: u64) -> String {
 /// Stages become `"ph":"X"` complete events; everything else becomes a
 /// `"ph":"i"` instant. Metadata events name each process and thread so
 /// the Perfetto UI shows "ping 3 / uplink" instead of raw ids.
+///
+/// Formatting into the returned `String` cannot fail (`String`'s
+/// `fmt::Write` impl never errors), so this stays infallible; exporters
+/// that write to fallible destinations use [`export_chrome_trace`].
 pub fn chrome_trace_json(events: &[JournalEvent]) -> String {
+    let mut out = String::new();
+    let _infallible = write_chrome_trace(&mut out, events);
+    debug_assert!(_infallible.is_ok());
+    out
+}
+
+/// Writes the trace document for `events` into `w`, surfacing formatter
+/// and I/O failures as a typed [`TraceExportError`] instead of
+/// panicking. This is the `io::Result`-style export path used by
+/// `repro trace`.
+pub fn export_chrome_trace<W: io::Write>(
+    w: &mut W,
+    events: &[JournalEvent],
+) -> Result<(), TraceExportError> {
+    let mut doc = String::new();
+    write_chrome_trace(&mut doc, events)?;
+    w.write_all(doc.as_bytes())?;
+    Ok(())
+}
+
+/// Formats the trace document into any `fmt::Write` sink, propagating
+/// write errors with `?` (no `.unwrap()` anywhere on the render path).
+pub fn write_chrome_trace<W: fmt::Write>(out: &mut W, events: &[JournalEvent]) -> fmt::Result {
     let mut lines: Vec<String> = Vec::new();
     let mut pids: BTreeSet<u64> = BTreeSet::new();
     let mut threads: BTreeSet<(u64, u64)> = BTreeSet::new();
@@ -47,7 +119,7 @@ pub fn chrome_trace_json(events: &[JournalEvent]) -> String {
         let (pid, tid) = placement(ev);
         pids.insert(pid);
         threads.insert((pid, tid));
-        lines.push(render_event(ev, pid, tid));
+        lines.push(render_event(ev, pid, tid)?);
     }
 
     let mut meta: Vec<String> = Vec::new();
@@ -83,15 +155,15 @@ pub fn chrome_trace_json(events: &[JournalEvent]) -> String {
         ));
     }
 
-    let mut out = String::from("{\"traceEvents\":[\n");
+    out.write_str("{\"traceEvents\":[\n")?;
     let total = meta.len() + lines.len();
     for (i, line) in meta.into_iter().chain(lines).enumerate() {
-        out.push_str("  ");
-        out.push_str(&line);
-        out.push_str(if i + 1 < total { ",\n" } else { "\n" });
+        out.write_str("  ")?;
+        out.write_str(&line)?;
+        out.write_str(if i + 1 < total { ",\n" } else { "\n" })?;
     }
-    out.push_str("],\"displayTimeUnit\":\"ns\"}\n");
-    out
+    out.write_str("],\"displayTimeUnit\":\"ns\"}\n")?;
+    Ok(())
 }
 
 fn placement(ev: &JournalEvent) -> (u64, u64) {
@@ -110,7 +182,7 @@ fn placement(ev: &JournalEvent) -> (u64, u64) {
     }
 }
 
-fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> String {
+fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> Result<String, fmt::Error> {
     let mut s = String::new();
     match *ev {
         JournalEvent::Stage { label, start, end, .. } => {
@@ -122,8 +194,7 @@ fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> String {
                 esc(label),
                 ts_us(start.as_nanos()),
                 ts_us(dur),
-            )
-            .unwrap();
+            )?;
         }
         JournalEvent::Grant { at, bytes, .. } => {
             write!(
@@ -131,8 +202,7 @@ fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> String {
                 "{{\"name\":\"UL grant\",\"cat\":\"mac\",\"ph\":\"i\",\"ts\":{},\"pid\":{pid},\
                  \"tid\":{tid},\"s\":\"t\",\"args\":{{\"bytes\":{bytes}}}}}",
                 ts_us(at.as_nanos()),
-            )
-            .unwrap();
+            )?;
         }
         JournalEvent::SrAttempt { at, lost, .. } => {
             let name = if lost { "SR (lost)" } else { "SR" };
@@ -141,8 +211,7 @@ fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> String {
                 "{{\"name\":\"{name}\",\"cat\":\"mac\",\"ph\":\"i\",\"ts\":{},\"pid\":{pid},\
                  \"tid\":{tid},\"s\":\"t\"}}",
                 ts_us(at.as_nanos()),
-            )
-            .unwrap();
+            )?;
         }
         JournalEvent::HarqNack { round, at, .. } => {
             write!(
@@ -150,8 +219,7 @@ fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> String {
                 "{{\"name\":\"HARQ NACK\",\"cat\":\"mac\",\"ph\":\"i\",\"ts\":{},\"pid\":{pid},\
                  \"tid\":{tid},\"s\":\"t\",\"args\":{{\"round\":{round}}}}}",
                 ts_us(at.as_nanos()),
-            )
-            .unwrap();
+            )?;
         }
         JournalEvent::FaultInjected { kind, at, extra } => {
             write!(
@@ -161,8 +229,7 @@ fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> String {
                 esc(kind.label()),
                 ts_us(at.as_nanos()),
                 extra.as_micros_f64(),
-            )
-            .unwrap();
+            )?;
         }
         JournalEvent::Rlf { at, dl, .. } => {
             let name = if dl { "RLF (dl)" } else { "RLF (ul)" };
@@ -171,8 +238,7 @@ fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> String {
                 "{{\"name\":\"{name}\",\"cat\":\"rrc\",\"ph\":\"i\",\"ts\":{},\"pid\":{pid},\
                  \"tid\":{tid},\"s\":\"t\"}}",
                 ts_us(at.as_nanos()),
-            )
-            .unwrap();
+            )?;
         }
         JournalEvent::RrcReestablished { at, ok, .. } => {
             let name = if ok { "RRC reestablished" } else { "RRC reestablish failed" };
@@ -181,8 +247,7 @@ fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> String {
                 "{{\"name\":\"{name}\",\"cat\":\"rrc\",\"ph\":\"i\",\"ts\":{},\"pid\":{pid},\
                  \"tid\":{tid},\"s\":\"t\"}}",
                 ts_us(at.as_nanos()),
-            )
-            .unwrap();
+            )?;
         }
         JournalEvent::Drop { at, reason, .. } => {
             write!(
@@ -191,8 +256,7 @@ fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> String {
                  \"pid\":{pid},\"tid\":{tid},\"s\":\"t\"}}",
                 esc(reason),
                 ts_us(at.as_nanos()),
-            )
-            .unwrap();
+            )?;
         }
         JournalEvent::Handover { from, to, label, at } => {
             write!(
@@ -201,8 +265,7 @@ fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> String {
                  \"tid\":{tid},\"s\":\"g\",\"args\":{{\"from\":{from},\"to\":{to}}}}}",
                 esc(label),
                 ts_us(at.as_nanos()),
-            )
-            .unwrap();
+            )?;
         }
         JournalEvent::PathEvent { label, at } => {
             write!(
@@ -211,8 +274,7 @@ fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> String {
                  \"tid\":{tid},\"s\":\"g\"}}",
                 esc(label),
                 ts_us(at.as_nanos()),
-            )
-            .unwrap();
+            )?;
         }
         JournalEvent::Marker { layer, label, at } => {
             write!(
@@ -222,11 +284,10 @@ fn render_event(ev: &JournalEvent, pid: u64, tid: u64) -> String {
                 esc(label),
                 esc(layer),
                 ts_us(at.as_nanos()),
-            )
-            .unwrap();
+            )?;
         }
     }
-    s
+    Ok(s)
 }
 
 #[cfg(test)]
@@ -301,6 +362,28 @@ mod tests {
         assert!(doc.contains("\"HARQ NACK\""));
         assert!(doc.contains("\"args\":{\"round\":1}"));
         assert!(doc.contains("\"ping 2\""));
+    }
+
+    #[test]
+    fn export_path_writes_identical_bytes_and_types_io_errors() {
+        let events = [JournalEvent::Marker { layer: "sim", label: "tick", at: Instant::ZERO }];
+        let mut buf: Vec<u8> = Vec::new();
+        export_chrome_trace(&mut buf, &events).expect("Vec sink cannot fail");
+        assert_eq!(String::from_utf8(buf).unwrap(), chrome_trace_json(&events));
+
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = export_chrome_trace(&mut Broken, &events).unwrap_err();
+        assert!(matches!(err, TraceExportError::Io(_)));
+        assert!(err.to_string().contains("disk on fire"));
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

@@ -52,6 +52,27 @@ impl MetricKey {
     }
 }
 
+/// An OpenMetrics-style exemplar attached to one histogram bucket: the
+/// identity of a concrete ping whose value landed there, so a quantile in
+/// an aggregate report can be traced back to a replayable exemplar in
+/// `results/tail_exemplars.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketExemplar {
+    /// The recorded value (ns).
+    pub value: u64,
+    /// The ping (packet id) that produced it.
+    pub ping: u64,
+}
+
+impl BucketExemplar {
+    /// Deterministic keep rule: the larger value wins, ties broken toward
+    /// the smaller ping id. Total order ⇒ commutative and associative, so
+    /// shard merges are worker-count invariant.
+    fn better_than(self, other: BucketExemplar) -> bool {
+        self.value > other.value || (self.value == other.value && self.ping < other.ping)
+    }
+}
+
 /// A log-linear histogram over `u64` values (nanoseconds by convention).
 ///
 /// Values below [`SUB_BUCKETS`]² land in exact unit-width buckets; above
@@ -62,6 +83,7 @@ impl MetricKey {
 #[derive(Debug, Clone, Default)]
 pub struct LogLinearHistogram {
     buckets: Vec<u64>,
+    exemplars: Vec<Option<BucketExemplar>>,
     count: u64,
     sum: u64,
     min: u64,
@@ -71,7 +93,14 @@ pub struct LogLinearHistogram {
 impl LogLinearHistogram {
     /// An empty histogram.
     pub fn new() -> LogLinearHistogram {
-        LogLinearHistogram { buckets: Vec::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
+        LogLinearHistogram {
+            buckets: Vec::new(),
+            exemplars: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 
     /// Bucket index for `value`.
@@ -110,6 +139,29 @@ impl LogLinearHistogram {
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+    }
+
+    /// Records one value and attaches a [`BucketExemplar`] naming the ping
+    /// that produced it. Per bucket, the exemplar with the largest value
+    /// survives (ties → smaller ping id), so merges stay deterministic.
+    pub fn record_with_exemplar(&mut self, value: u64, ping: u64) {
+        self.record(value);
+        self.attach_exemplar(Self::index_of(value), BucketExemplar { value, ping });
+    }
+
+    fn attach_exemplar(&mut self, idx: usize, ex: BucketExemplar) {
+        if idx >= self.exemplars.len() {
+            self.exemplars.resize(idx + 1, None);
+        }
+        match self.exemplars[idx] {
+            Some(cur) if !ex.better_than(cur) => {}
+            _ => self.exemplars[idx] = Some(ex),
+        }
+    }
+
+    /// Bucket exemplars, as `(bucket_index, exemplar)` in bucket order.
+    pub fn exemplars(&self) -> impl Iterator<Item = (usize, BucketExemplar)> + '_ {
+        self.exemplars.iter().enumerate().filter_map(|(i, ex)| ex.map(|e| (i, e)))
     }
 
     /// Number of recorded values.
@@ -152,6 +204,9 @@ impl LogLinearHistogram {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *mine += theirs;
         }
+        for (idx, ex) in other.exemplars() {
+            self.attach_exemplar(idx, ex);
+        }
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
@@ -188,6 +243,18 @@ pub enum MetricValue {
     Histogram(HistogramSummary),
 }
 
+/// One exported bucket exemplar: the upper bound of its bucket plus the
+/// exemplar's exact value and ping id (OpenMetrics `# {…}` style).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExemplarRow {
+    /// Exclusive upper bound of the bucket, µs.
+    pub le_us: f64,
+    /// The exemplar's exact recorded value, µs.
+    pub value_us: f64,
+    /// The ping (packet id) that produced it.
+    pub ping: u64,
+}
+
 /// Quantile summary of a [`LogLinearHistogram`], in microseconds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSummary {
@@ -203,6 +270,8 @@ pub struct HistogramSummary {
     pub p999_us: f64,
     /// Maximum, µs.
     pub max_us: f64,
+    /// Bucket exemplars (empty for histograms recorded without ping ids).
+    pub exemplars: Vec<ExemplarRow>,
 }
 
 impl HistogramSummary {
@@ -214,6 +283,14 @@ impl HistogramSummary {
             p99_us: h.quantile(0.99) as f64 / 1_000.0,
             p999_us: h.quantile(0.999) as f64 / 1_000.0,
             max_us: h.max() as f64 / 1_000.0,
+            exemplars: h
+                .exemplars()
+                .map(|(idx, ex)| ExemplarRow {
+                    le_us: LogLinearHistogram::bucket_bounds(idx).1 as f64 / 1_000.0,
+                    value_us: ex.value as f64 / 1_000.0,
+                    ping: ex.ping,
+                })
+                .collect(),
         }
     }
 }
@@ -255,6 +332,12 @@ impl MetricsRegistry {
     /// Records `ns` into the histogram at `key`.
     pub fn record_ns(&mut self, key: MetricKey, ns: u64) {
         self.histograms.entry(key).or_default().record(ns);
+    }
+
+    /// Records `ns` into the histogram at `key`, attaching `ping` as the
+    /// bucket's exemplar (see [`LogLinearHistogram::record_with_exemplar`]).
+    pub fn record_ns_with_exemplar(&mut self, key: MetricKey, ns: u64, ping: u64) {
+        self.histograms.entry(key).or_default().record_with_exemplar(ns, ping);
     }
 
     /// Records a duration into the histogram at `key`.
@@ -423,16 +506,35 @@ impl MetricsSnapshot {
                 MetricValue::Gauge(v) => {
                     format!("{{\"key\":\"{key}\",\"kind\":\"gauge\",\"value\":{v:.6}}}")
                 }
-                MetricValue::Histogram(h) => format!(
-                    "{{\"key\":\"{key}\",\"kind\":\"histogram\",\"count\":{},\
-                     \"mean_us\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"max_us\":{}}}",
-                    h.count,
-                    fmt_us(h.mean_us),
-                    fmt_us(h.p50_us),
-                    fmt_us(h.p99_us),
-                    fmt_us(h.p999_us),
-                    fmt_us(h.max_us),
-                ),
+                MetricValue::Histogram(h) => {
+                    let exemplars = if h.exemplars.is_empty() {
+                        String::new()
+                    } else {
+                        let rows: Vec<String> = h
+                            .exemplars
+                            .iter()
+                            .map(|e| {
+                                format!(
+                                    "{{\"le_us\":{},\"value_us\":{},\"ping\":{}}}",
+                                    fmt_us(e.le_us),
+                                    fmt_us(e.value_us),
+                                    e.ping
+                                )
+                            })
+                            .collect();
+                        format!(",\"exemplars\":[{}]", rows.join(","))
+                    };
+                    format!(
+                        "{{\"key\":\"{key}\",\"kind\":\"histogram\",\"count\":{},\
+                         \"mean_us\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"max_us\":{}{exemplars}}}",
+                        h.count,
+                        fmt_us(h.mean_us),
+                        fmt_us(h.p50_us),
+                        fmt_us(h.p99_us),
+                        fmt_us(h.p999_us),
+                        fmt_us(h.max_us),
+                    )
+                }
             };
             out.push_str("  ");
             out.push_str(&body);
@@ -552,6 +654,50 @@ mod tests {
         assert!(snap.render().contains("mac/harq_retx"));
         assert!(snap.to_csv().starts_with("key,kind,"));
         assert!(snap.to_json().contains("\"kind\":\"histogram\""));
+    }
+
+    #[test]
+    fn exemplars_keep_the_largest_value_with_smallest_ping_tiebreak() {
+        let mut h = LogLinearHistogram::new();
+        h.record_with_exemplar(100_000, 7);
+        h.record_with_exemplar(101_000, 3); // same bucket, larger value wins
+        h.record_with_exemplar(101_000, 9); // tie on value: smaller ping stays
+        h.record_with_exemplar(5, 1); // exact low bucket
+        let got: Vec<(usize, BucketExemplar)> = h.exemplars().collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], (5, BucketExemplar { value: 5, ping: 1 }));
+        assert_eq!(got[1].1, BucketExemplar { value: 101_000, ping: 3 });
+    }
+
+    #[test]
+    fn exemplar_merge_is_order_independent() {
+        let mut a = LogLinearHistogram::new();
+        let mut b = LogLinearHistogram::new();
+        a.record_with_exemplar(2_000, 10);
+        a.record_with_exemplar(900_000, 4);
+        b.record_with_exemplar(2_100, 2);
+        b.record_with_exemplar(900_000, 1);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let left: Vec<_> = ab.exemplars().collect();
+        let right: Vec<_> = ba.exemplars().collect();
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn exemplars_flow_into_snapshot_json() {
+        let mut reg = MetricsRegistry::new();
+        reg.record_ns_with_exemplar(MetricKey::new("journey", "rtt"), 123_456, 42);
+        reg.record_ns(MetricKey::new("mac", "proc_us"), 5_000);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"exemplars\":[{\"le_us\":"), "json: {json}");
+        assert!(json.contains("\"ping\":42"));
+        // Histograms recorded without ping ids carry no exemplar array.
+        let mac_row = json.lines().find(|l| l.contains("mac/proc_us")).unwrap();
+        assert!(!mac_row.contains("exemplars"));
     }
 
     proptest! {
