@@ -81,6 +81,7 @@ fn main() {
         "design" => timed("design", design),
         "formats" => timed("formats", formats),
         "scale" => timed("scale", scale),
+        "multicell" => timed("multicell", multicell),
         "harq" => timed("harq", || harq(pings)),
         "rach" => timed("rach", rach),
         "sixg" => timed("sixg", sixg),
@@ -112,6 +113,7 @@ fn main() {
             timed("design", design);
             timed("formats", formats);
             timed("scale", scale);
+            timed("multicell", multicell);
             timed("harq", || harq(pings));
             timed("rach", rach);
             timed("sixg", sixg);
@@ -126,7 +128,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|harq|rach|sixg|coexist|chaos|recovery|overload|handover|metrics|trace|profile|ratchet|all [--pings N] [--perfetto out.json] [--jobs N] [--compare] [--write]");
+            eprintln!("usage: repro table1|table2|fig1..fig6|fr2|reliability|design|formats|scale|multicell|harq|rach|sixg|coexist|chaos|recovery|overload|handover|metrics|trace|profile|ratchet|all [--pings N] [--perfetto out.json] [--jobs N] [--compare] [--write]");
             std::process::exit(2);
         }
     }
@@ -491,6 +493,118 @@ fn scale() {
          load most grant-free allocations sit idle — the §5/§9 trade, quantified.)"
     );
     save("scale.csv", &to_csv(&["ues", "gf_mean_ms", "gb_mean_ms", "gf_waste"], &rows));
+}
+
+/// Extension X13: city-scale multi-cell sweep (ROADMAP item 1). Cells ×
+/// per-cell population up to 10⁶ total UEs; every point runs the
+/// dense-urban mix (2 % URLLC / 10 % video / 88 % sensors, every fourth
+/// cell a 2× hotspot) with one shard per cell and fixed-memory recording.
+fn multicell() {
+    banner("X13 — multi-cell deadline misses at city scale");
+    let points: [(usize, u64); 3] = [(4, 250), (8, 12_500), (16, 62_500)];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "cells", "ues", "offered", "p50[ms]", "p99[ms]", "p999[ms]", "miss", "rec[KiB]"
+    );
+    for (n_cells, per_cell) in points {
+        let cfg = stack::MulticellConfig::dense_urban(n_cells, per_cell, 29);
+        let report = stack::run_multicell(&cfg).expect("multicell topology diverged");
+        let total_ues = cfg.total_ues();
+        let q3 = |rec: &mut sim::Recording| {
+            [0.5, 0.99, 0.999].map(|p| rec.try_quantile_us(p).unwrap_or(0.0) / 1_000.0)
+        };
+        // Per-cell rows (all classes merged): the per-cell tail is the
+        // figure's point — aggregates hide the hotspots.
+        for cell in &report.cells {
+            let mut lat = cell.latency();
+            let [p50, p99, p999] = q3(&mut lat);
+            rows.push(vec![
+                n_cells.to_string(),
+                per_cell.to_string(),
+                total_ues.to_string(),
+                format!("cell{}", cell.cell),
+                "all".into(),
+                cell.n_ues.to_string(),
+                cell.offered().to_string(),
+                format!("{p50:.3}"),
+                format!("{p99:.3}"),
+                format!("{p999:.3}"),
+                format!("{:.5}", cell.miss_rate()),
+                cell.peak_queue.to_string(),
+            ]);
+        }
+        // Aggregate per class, then the topology total.
+        let mut agg_offered = 0u64;
+        for class in report.aggregate_classes() {
+            let mut c = class.clone();
+            let [p50, p99, p999] = q3(&mut c.latency);
+            agg_offered += c.offered;
+            rows.push(vec![
+                n_cells.to_string(),
+                per_cell.to_string(),
+                total_ues.to_string(),
+                "agg".into(),
+                c.name.into(),
+                c.ues.to_string(),
+                c.offered.to_string(),
+                format!("{p50:.3}"),
+                format!("{p99:.3}"),
+                format!("{p999:.3}"),
+                format!("{:.5}", c.miss_rate()),
+                String::new(),
+            ]);
+        }
+        let mut all = report.latency();
+        let [p50, p99, p999] = q3(&mut all);
+        let miss = report.miss_rate();
+        rows.push(vec![
+            n_cells.to_string(),
+            per_cell.to_string(),
+            total_ues.to_string(),
+            "agg".into(),
+            "all".into(),
+            total_ues.to_string(),
+            agg_offered.to_string(),
+            format!("{p50:.3}"),
+            format!("{p99:.3}"),
+            format!("{p999:.3}"),
+            format!("{miss:.5}"),
+            String::new(),
+        ]);
+        println!(
+            "{n_cells:>6} {total_ues:>9} {agg_offered:>9} {p50:>9.3} {p99:>9.3} {p999:>9.3} {miss:>9.5} {:>9.1}",
+            report.recording_mem_bytes() as f64 / 1024.0
+        );
+    }
+    println!(
+        "(per-cell event queues stay O(classes) and recordings are log-linear\n\
+         histograms, so the million-UE topology runs in the same memory — and\n\
+         nearly the same wall time — as the thousand-UE one; the per-cell rows\n\
+         show the failure is concentrated: stable cells meet every deadline\n\
+         while the 2x hotspots shed their best-effort classes wholesale, and\n\
+         only the population-inflated decode cost moves the aggregate p50)"
+    );
+    save(
+        "multicell.csv",
+        &to_csv(
+            &[
+                "cells",
+                "ues_per_cell",
+                "total_ues",
+                "cell",
+                "class",
+                "ues",
+                "offered",
+                "p50_ms",
+                "p99_ms",
+                "p999_ms",
+                "miss_rate",
+                "peak_queue",
+            ],
+            &rows,
+        ),
+    );
 }
 
 /// Extension X5: HARQ retransmission steps under channel loss (§8).
@@ -961,7 +1075,8 @@ fn overload() {
         } else {
             String::new()
         };
-        let q = |p: f64| r.latency.quantile(p) as f64 / 1_000.0;
+        let mut lat = r.latency.clone();
+        let mut q = move |p: f64| lat.quantile_us(p);
         let deg = r.degraded_slots as f64 / r.total_slots.max(1) as f64;
         let crit = r.critical_slots as f64 / r.total_slots.max(1) as f64;
         println!(

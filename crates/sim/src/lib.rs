@@ -42,5 +42,8 @@ pub use faults::{
     StormChain, StormConfig,
 };
 pub use rng::SimRng;
-pub use stats::{Histogram, LatencyRecorder, StreamingStats, Summary};
+pub use stats::{
+    BucketExemplar, Histogram, LatencyRecorder, LogLinearHistogram, Recording, StreamingStats,
+    Summary, SUB_BUCKETS,
+};
 pub use time::{Duration, Instant};

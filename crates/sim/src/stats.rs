@@ -14,7 +14,7 @@ use crate::time::Duration;
 /// Numerically stable for long runs (naive sum-of-squares loses precision
 /// after ~10⁷ microsecond-scale samples, which a 5G latency sweep easily
 /// exceeds).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StreamingStats {
     n: u64,
     mean: f64,
@@ -215,7 +215,7 @@ impl Histogram {
 /// 10⁴–10⁶ samples) and buys exact percentiles — important because URLLC
 /// reliability statements are about the 99.999th percentile, where
 /// approximate sketches are least trustworthy.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencyRecorder {
     samples_us: Vec<f64>,
     stats: StreamingStats,
@@ -303,14 +303,46 @@ impl LatencyRecorder {
 
     /// Merges another recorder into this one (parallel sweeps).
     ///
-    /// Samples are appended in the other recorder's order, so merging
-    /// shards in index order reproduces the raw-sample sequence a
-    /// sequential run of the same shard schedule would record.
+    /// When neither side has been sorted yet (the shard-reduction case:
+    /// recorders fresh from `record()`), samples are appended in the other
+    /// recorder's order, so merging shards in index order reproduces the
+    /// raw-sample sequence a sequential run of the same shard schedule
+    /// would record. When *both* sides are already sorted (quantiles were
+    /// taken before merging), a linear two-run merge keeps the `sorted`
+    /// flag instead of forcing the next quantile into an O(n log n)
+    /// re-sort; the raw order then becomes value order, which is the only
+    /// order a sorted recorder can promise anyway.
     pub fn merge(&mut self, other: &LatencyRecorder) {
         if other.samples_us.is_empty() {
             return;
         }
-        self.sorted = self.samples_us.is_empty() && other.sorted;
+        if self.samples_us.is_empty() {
+            self.samples_us.extend_from_slice(&other.samples_us);
+            self.sorted = other.sorted;
+            self.stats.merge(&other.stats);
+            return;
+        }
+        if self.sorted && other.sorted {
+            let a = &self.samples_us;
+            let b = &other.samples_us;
+            let mut merged = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                if a[i] <= b[j] {
+                    merged.push(a[i]);
+                    i += 1;
+                } else {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&a[i..]);
+            merged.extend_from_slice(&b[j..]);
+            self.samples_us = merged;
+            self.stats.merge(&other.stats);
+            return;
+        }
+        self.sorted = false;
         self.samples_us.extend_from_slice(&other.samples_us);
         self.stats.merge(&other.stats);
     }
@@ -363,6 +395,402 @@ pub struct Summary {
     pub p99_us: f64,
     /// 99.9th percentile, µs.
     pub p999_us: f64,
+}
+
+/// Linear sub-buckets per power of two (relative resolution 1/16 ≈ 6.25%).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+const SUB_BUCKET_BITS: u32 = 4;
+
+/// An OpenMetrics-style exemplar attached to one histogram bucket: the
+/// identity of a concrete ping whose value landed there, so a quantile in
+/// an aggregate report can be traced back to a replayable exemplar in
+/// `results/tail_exemplars.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketExemplar {
+    /// The recorded value (ns).
+    pub value: u64,
+    /// The ping (packet id) that produced it.
+    pub ping: u64,
+}
+
+impl BucketExemplar {
+    /// Deterministic keep rule: the larger value wins, ties broken toward
+    /// the smaller ping id. Total order ⇒ commutative and associative, so
+    /// shard merges are worker-count invariant.
+    fn better_than(self, other: BucketExemplar) -> bool {
+        self.value > other.value || (self.value == other.value && self.ping < other.ping)
+    }
+}
+
+/// A log-linear histogram over `u64` values (nanoseconds by convention).
+///
+/// Values below [`SUB_BUCKETS`]² land in exact unit-width buckets; above
+/// that, each power of two is split into [`SUB_BUCKETS`] linear
+/// sub-buckets, so any recorded value is reported with at most
+/// `1/SUB_BUCKETS` relative error. The bucket vector grows on demand and
+/// tops out at ~1000 entries for the full `u64` range — memory is constant
+/// regardless of sample count, which is what lets million-UE sweeps run in
+/// fixed memory (the telemetry registry and every scale experiment record
+/// through this type).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LogLinearHistogram {
+    buckets: Vec<u64>,
+    exemplars: Vec<Option<BucketExemplar>>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LogLinearHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogLinearHistogram {
+        LogLinearHistogram {
+            buckets: Vec::new(),
+            exemplars: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for `value`.
+    pub fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as u64;
+        let octave = msb - SUB_BUCKET_BITS as u64 + 1;
+        let sub = (value >> (msb - SUB_BUCKET_BITS as u64)) & (SUB_BUCKETS - 1);
+        (octave * SUB_BUCKETS + sub) as usize
+    }
+
+    /// Half-open range `[lo, hi)` of values mapping to bucket `index`.
+    /// The topmost bucket's upper bound saturates at `u64::MAX`, so the
+    /// largest representable values land in a (closed) saturated bin
+    /// rather than overflowing.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        let index = index as u64;
+        if index < SUB_BUCKETS {
+            return (index, index + 1);
+        }
+        let octave = index / SUB_BUCKETS;
+        let sub = index % SUB_BUCKETS;
+        let msb = octave + SUB_BUCKET_BITS as u64 - 1;
+        let width = 1u64 << (msb - SUB_BUCKET_BITS as u64);
+        let lo = (SUB_BUCKETS + sub) << (msb - SUB_BUCKET_BITS as u64);
+        (lo, lo.saturating_add(width))
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::index_of(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records one value and attaches a [`BucketExemplar`] naming the ping
+    /// that produced it. Per bucket, the exemplar with the largest value
+    /// survives (ties → smaller ping id), so merges stay deterministic.
+    pub fn record_with_exemplar(&mut self, value: u64, ping: u64) {
+        self.record(value);
+        self.attach_exemplar(Self::index_of(value), BucketExemplar { value, ping });
+    }
+
+    fn attach_exemplar(&mut self, idx: usize, ex: BucketExemplar) {
+        if idx >= self.exemplars.len() {
+            self.exemplars.resize(idx + 1, None);
+        }
+        match self.exemplars[idx] {
+            Some(cur) if !ex.better_than(cur) => {}
+            _ => self.exemplars[idx] = Some(ex),
+        }
+    }
+
+    /// Bucket exemplars, as `(bucket_index, exemplar)` in bucket order.
+    pub fn exemplars(&self) -> impl Iterator<Item = (usize, BucketExemplar)> + '_ {
+        self.exemplars.iter().enumerate().filter_map(|(i, ex)| ex.map(|e| (i, e)))
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds another histogram's buckets into this one. Buckets are fixed
+    /// by value, not by insertion order, so the merge is commutative.
+    pub fn merge(&mut self, other: &LogLinearHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        for (idx, ex) in other.exemplars() {
+            self.attach_exemplar(idx, ex);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nearest-rank `q`-quantile (`q` in `[0, 1]`), reported as the lower
+    /// bound of the containing bucket — conservative, and exact for values
+    /// below [`SUB_BUCKETS`]. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_bounds(idx).0.max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fraction of recorded values `<= value` (linear interpolation inside
+    /// the containing bucket) — the histogram counterpart of
+    /// [`LatencyRecorder::fraction_within`].
+    pub fn fraction_le(&self, value: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let idx = Self::index_of(value);
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if i < idx {
+                below += c;
+            } else {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let frac = (value - lo + 1) as f64 / (hi - lo).max(1) as f64;
+                return (below as f64 + c as f64 * frac.min(1.0)) / self.count as f64;
+            }
+        }
+        below as f64 / self.count as f64
+    }
+
+    /// Bytes retained by the bucket storage — constant once the value
+    /// range has been seen, independent of how many samples were recorded.
+    pub fn mem_bytes(&self) -> usize {
+        self.buckets.capacity() * std::mem::size_of::<u64>()
+            + self.exemplars.capacity() * std::mem::size_of::<Option<BucketExemplar>>()
+            + std::mem::size_of::<LogLinearHistogram>()
+    }
+}
+
+/// How an experiment records its latency series.
+///
+/// Figure-scale runs (10⁴–10⁶ samples) keep every sample for *exact*
+/// percentiles — URLLC reliability statements live at the 99.999th
+/// percentile, where approximate sketches are least trustworthy. Scale
+/// runs (multi-UE, overload, multi-cell sweeps pushing to 10⁵–10⁶ UEs)
+/// cannot afford per-sample storage; they record into a fixed-memory
+/// [`LogLinearHistogram`] with ≤ `1/`[`SUB_BUCKETS`] relative quantile
+/// error. Both modes expose the same recording/query surface, so engines
+/// are written once against `Recording` and callers pick the trade.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Recording {
+    /// Every sample kept ([`LatencyRecorder`]): exact quantiles, memory
+    /// grows linearly with the sample count.
+    Exact(LatencyRecorder),
+    /// Log-linear buckets ([`LogLinearHistogram`]): bounded relative
+    /// error, memory constant regardless of sample count.
+    Fixed(LogLinearHistogram),
+}
+
+impl Default for Recording {
+    fn default() -> Recording {
+        Recording::Exact(LatencyRecorder::new())
+    }
+}
+
+impl Recording {
+    /// An exact per-sample recording (figure-scale experiments).
+    pub fn exact() -> Recording {
+        Recording::Exact(LatencyRecorder::new())
+    }
+
+    /// A fixed-memory log-linear recording (scale experiments).
+    pub fn fixed() -> Recording {
+        Recording::Fixed(LogLinearHistogram::new())
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        match self {
+            Recording::Exact(r) => r.record(d),
+            Recording::Fixed(h) => h.record(d.as_nanos()),
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        match self {
+            Recording::Exact(r) => r.count(),
+            Recording::Fixed(h) => h.count(),
+        }
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Merges another recording into this one (parallel sweeps).
+    ///
+    /// # Panics
+    /// Panics if the two sides use different modes — merging is only
+    /// meaningful shard-to-shard within one sweep, and every shard of a
+    /// sweep records the same way.
+    pub fn merge(&mut self, other: &Recording) {
+        match (self, other) {
+            (Recording::Exact(a), Recording::Exact(b)) => a.merge(b),
+            (Recording::Fixed(a), Recording::Fixed(b)) => a.merge(b),
+            _ => panic!("recording modes differ (exact vs fixed)"),
+        }
+    }
+
+    /// `q`-quantile in microseconds, `None` when empty. Exact mode is
+    /// nearest-rank exact; fixed mode carries the histogram's bounded
+    /// relative error.
+    pub fn try_quantile_us(&mut self, q: f64) -> Option<f64> {
+        match self {
+            Recording::Exact(r) => r.try_quantile_us(q),
+            Recording::Fixed(h) => {
+                assert!((0.0..=1.0).contains(&q), "quantile out of range");
+                if h.count() == 0 {
+                    None
+                } else {
+                    Some(h.quantile(q) as f64 / 1_000.0)
+                }
+            }
+        }
+    }
+
+    /// `q`-quantile in microseconds.
+    ///
+    /// # Panics
+    /// Panics when empty.
+    pub fn quantile_us(&mut self, q: f64) -> f64 {
+        self.try_quantile_us(q).expect("quantile of empty recording")
+    }
+
+    /// Fraction of samples at or below `deadline`.
+    pub fn fraction_within(&mut self, deadline: Duration) -> f64 {
+        match self {
+            Recording::Exact(r) => r.fraction_within(deadline),
+            Recording::Fixed(h) => h.fraction_le(deadline.as_nanos()),
+        }
+    }
+
+    /// Largest recorded sample, µs (0 when empty).
+    pub fn max_us(&self) -> f64 {
+        match self {
+            Recording::Exact(r) => {
+                if r.is_empty() {
+                    0.0
+                } else {
+                    r.stats.max()
+                }
+            }
+            Recording::Fixed(h) => h.max() as f64 / 1_000.0,
+        }
+    }
+
+    /// Summary of the recorded samples ([`Summary::default`] when empty).
+    /// In fixed mode the standard deviation is estimated from bucket
+    /// midpoints (same bounded relative error as the quantiles).
+    pub fn summary(&mut self) -> Summary {
+        match self {
+            Recording::Exact(r) => r.summary(),
+            Recording::Fixed(h) => {
+                if h.count() == 0 {
+                    return Summary::default();
+                }
+                let mean_us = h.mean() / 1_000.0;
+                let mut m2 = 0.0f64;
+                for (i, &c) in h.buckets.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    let (lo, hi) = LogLinearHistogram::bucket_bounds(i);
+                    let mid_us = (lo as f64 + hi as f64) / 2.0 / 1_000.0;
+                    m2 += c as f64 * (mid_us - mean_us) * (mid_us - mean_us);
+                }
+                let std_us = if h.count() < 2 { 0.0 } else { (m2 / (h.count() - 1) as f64).sqrt() };
+                Summary {
+                    count: h.count(),
+                    mean_us,
+                    std_us,
+                    min_us: h.min() as f64 / 1_000.0,
+                    max_us: h.max() as f64 / 1_000.0,
+                    p50_us: h.quantile(0.50) as f64 / 1_000.0,
+                    p99_us: h.quantile(0.99) as f64 / 1_000.0,
+                    p999_us: h.quantile(0.999) as f64 / 1_000.0,
+                }
+            }
+        }
+    }
+
+    /// Bytes retained by the sample storage. For fixed recordings this is
+    /// bounded by the histogram's ~1000-bucket ceiling no matter how many
+    /// samples are recorded — the property the million-UE memory assertion
+    /// checks; for exact recordings it grows with the sample count.
+    pub fn mem_bytes(&self) -> usize {
+        match self {
+            Recording::Exact(r) => {
+                r.samples_us.capacity() * std::mem::size_of::<f64>()
+                    + std::mem::size_of::<LatencyRecorder>()
+            }
+            Recording::Fixed(h) => h.mem_bytes(),
+        }
+    }
+
+    /// The underlying histogram, if this is a fixed recording.
+    pub fn as_fixed(&self) -> Option<&LogLinearHistogram> {
+        match self {
+            Recording::Fixed(h) => Some(h),
+            Recording::Exact(_) => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -560,5 +988,193 @@ mod tests {
         }
         assert_eq!(r.try_quantile_us(0.5), Some(50.0));
         assert_eq!(r.try_quantile_us(0.99), Some(r.quantile_us(0.99)));
+    }
+
+    #[test]
+    fn merge_of_two_sorted_recorders_stays_sorted_without_resort() {
+        let mut a = LatencyRecorder::new();
+        let mut b = LatencyRecorder::new();
+        let mut whole = LatencyRecorder::new();
+        for i in 0..200u64 {
+            let d = Duration::from_micros(i * 71 % 197 + 1);
+            whole.record(d);
+            if i % 2 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+        }
+        // Taking a quantile sorts each side.
+        a.quantile_us(0.5);
+        b.quantile_us(0.5);
+        assert!(a.sorted && b.sorted);
+        a.merge(&b);
+        // The linear two-run merge keeps sortedness...
+        assert!(a.sorted, "merge of two sorted recorders must stay sorted");
+        assert!(a.samples_us().windows(2).all(|w| w[0] <= w[1]));
+        // ...and loses nothing: same multiset, same quantiles and moments.
+        let (sa, sw) = (a.summary(), whole.summary());
+        assert_eq!(sa.count, sw.count);
+        assert_eq!(sa.p50_us, sw.p50_us);
+        assert_eq!(sa.p99_us, sw.p99_us);
+        assert_eq!(sa.p999_us, sw.p999_us);
+        assert!((sa.mean_us - sw.mean_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_into_empty_inherits_order_and_sortedness() {
+        let mut src = LatencyRecorder::new();
+        for d in [30u64, 10, 20] {
+            src.record(Duration::from_micros(d));
+        }
+        let mut dst = LatencyRecorder::new();
+        dst.merge(&src);
+        // Raw order preserved (the shard-concatenation contract)...
+        assert_eq!(dst.samples_us(), src.samples_us());
+        // ...and the unsorted state carried over with it.
+        assert!(!dst.sorted);
+        src.quantile_us(1.0);
+        let mut dst2 = LatencyRecorder::new();
+        dst2.merge(&src);
+        assert!(dst2.sorted);
+    }
+
+    #[test]
+    fn recording_modes_share_one_surface() {
+        let mut ex = Recording::exact();
+        let mut fx = Recording::fixed();
+        for i in 1..=1000u64 {
+            let d = Duration::from_micros(i);
+            ex.record(d);
+            fx.record(d);
+        }
+        assert_eq!(ex.count(), fx.count());
+        let (se, sf) = (ex.summary(), fx.summary());
+        assert_eq!(se.count, sf.count);
+        // Fixed mode tracks exact within the histogram's 1/16 resolution.
+        assert!((se.p99_us - sf.p99_us).abs() / se.p99_us <= 1.0 / SUB_BUCKETS as f64 + 1e-9);
+        assert!((se.mean_us - sf.mean_us).abs() < 1e-6);
+        assert!((ex.fraction_within(Duration::from_micros(500)) - 0.5).abs() < 1e-9, "exact CDF");
+        let f = fx.fraction_within(Duration::from_micros(500));
+        assert!((f - 0.5).abs() < 0.1, "fixed CDF ≈ exact: {f}");
+    }
+
+    #[test]
+    fn fixed_recording_memory_is_independent_of_sample_count() {
+        let mut small = Recording::fixed();
+        let mut large = Recording::fixed();
+        // Identical value range (so bucket storage is comparable), 100×
+        // the sample count.
+        for i in 0..1_000u64 {
+            small.record(Duration::from_micros(i % 1000 * 10 + 1));
+        }
+        for i in 0..100_000u64 {
+            large.record(Duration::from_micros(i % 1000 * 10 + 1));
+        }
+        assert_eq!(small.mem_bytes(), large.mem_bytes());
+        // An exact recording grows with the sample count.
+        let mut exact = Recording::exact();
+        let empty_bytes = exact.mem_bytes();
+        for i in 0..100_000u64 {
+            exact.record(Duration::from_micros(i + 1));
+        }
+        assert!(exact.mem_bytes() > empty_bytes + 100_000 * 8 / 2);
+    }
+
+    #[test]
+    fn saturated_top_bin_handles_out_of_range_samples() {
+        // The histogram has no configured range: the largest u64 values
+        // land in the topmost (saturated) bin, whose upper bound clamps to
+        // u64::MAX instead of overflowing.
+        let top = LogLinearHistogram::index_of(u64::MAX);
+        let (lo, hi) = LogLinearHistogram::bucket_bounds(top);
+        assert_eq!(hi, u64::MAX, "top bucket's bound saturates");
+        assert!(lo < hi);
+        let mut h = LogLinearHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        // Quantiles stay inside the recorded range even for the saturated
+        // bin, and the sum saturates rather than wrapping.
+        let p100 = h.quantile(1.0);
+        assert!(p100 >= lo);
+        assert!(h.mean() <= u64::MAX as f64);
+        assert!(h.fraction_le(u64::MAX) >= 1.0 - 1e-9);
+        assert_eq!(h.fraction_le(0), 1.0 / 3.0);
+        // The saturated bin merges like any other.
+        let mut other = LogLinearHistogram::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    mod recording_accuracy {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // ROADMAP item 1's guard: on runs small enough to afford both,
+            // the fixed-memory histogram's quantiles track the exact
+            // recorder within the log-linear resolution — from below
+            // (bucket lower bound) and never by more than one bucket
+            // width (1/SUB_BUCKETS relative).
+            #[test]
+            fn fixed_quantiles_track_exact_recorder(
+                vs in prop::collection::vec(1u64..100_000_000u64, 1..400),
+                q in 0.0f64..1.0,
+            ) {
+                let mut exact = Recording::exact();
+                let mut fixed = Recording::fixed();
+                for &v in &vs {
+                    exact.record(Duration::from_nanos(v));
+                    fixed.record(Duration::from_nanos(v));
+                }
+                let e = exact.quantile_us(q);
+                let f = fixed.quantile_us(q);
+                prop_assert!(f <= e + 1e-9, "fixed {f} above exact {e}");
+                prop_assert!(
+                    f >= e * (SUB_BUCKETS as f64 / (SUB_BUCKETS + 1) as f64) - 1e-9,
+                    "fixed {f} more than one bucket below exact {e}"
+                );
+            }
+
+            // Counts and means are not approximated at all.
+            #[test]
+            fn fixed_count_and_mean_are_exact(
+                vs in prop::collection::vec(1u64..10_000_000u64, 1..200),
+            ) {
+                let mut exact = Recording::exact();
+                let mut fixed = Recording::fixed();
+                for &v in &vs {
+                    exact.record(Duration::from_nanos(v));
+                    fixed.record(Duration::from_nanos(v));
+                }
+                prop_assert_eq!(exact.count(), fixed.count());
+                let (se, sf) = (exact.summary(), fixed.summary());
+                prop_assert!((se.mean_us - sf.mean_us).abs() <= 1e-6 * se.mean_us.max(1.0));
+            }
+
+            // Fixed-mode merge is exactly commutative (bucket-wise adds),
+            // so cell shards can reduce in any grouping.
+            #[test]
+            fn fixed_merge_is_commutative(
+                xs in prop::collection::vec(1u64..10_000_000u64, 0..100),
+                ys in prop::collection::vec(1u64..10_000_000u64, 0..100),
+            ) {
+                let mut a = Recording::fixed();
+                let mut b = Recording::fixed();
+                for &v in &xs { a.record(Duration::from_nanos(v)); }
+                for &v in &ys { b.record(Duration::from_nanos(v)); }
+                let mut ab = a.clone();
+                ab.merge(&b);
+                let mut ba = b.clone();
+                ba.merge(&a);
+                prop_assert_eq!(ab, ba);
+            }
+        }
     }
 }

@@ -298,6 +298,12 @@ impl MobilitySim<'_> {
     /// real GTP-U bytes, end marker, UPF path switch, delivery of the
     /// held packets, and the serving-cell change.
     fn flush_front(&mut self) {
+        // Infallibility note: every `expect` below sits on a loopback path —
+        // the engine itself produced the bytes it is decoding (PDCP PDUs it
+        // ciphered, G-PDUs its own tunnel framed, a session it registered at
+        // construction). Malformed-peer handling lives in the entity layers
+        // (`XnReceiver::accept`, `PdcpEntity::rx_decode` return typed
+        // errors); a panic here means the engine corrupted its own state.
         let w = self.windows.pop_front().expect("flush_front requires a queued window");
         let status = SnStatusTransfer { dl_tx_next: self.gnb[w.source].tx_next_count() };
         let nothing_confirmed = PdcpStatusReport { fmc: 0, received: Vec::new() };
@@ -401,6 +407,9 @@ impl MobilitySim<'_> {
 
     /// One delivered SDU: order check, latency, attribution.
     fn account_delivery(&mut self, sdu: &Bytes, idx: u64, d: Duration, dom: Option<FaultKind>) {
+        // Infallible: every SDU reaching this point was built by `send_dl`
+        // with an 8-byte big-endian index prefix, and PDCP delivers SDUs
+        // whole — a short slice here would mean the stack truncated one.
         let decoded = u64::from_be_bytes(sdu[..8].try_into().expect("payload carries its index"));
         debug_assert_eq!(decoded, idx);
         if decoded != self.next_expected {
@@ -544,6 +553,9 @@ impl MobilitySim<'_> {
         self.advance(now);
         self.offered += 1;
         let payload = Bytes::copy_from_slice(&idx.to_be_bytes());
+        // Infallible (loopback invariants, as in `flush_front`): the UPF
+        // session for UE_ADDR is registered at engine construction and the
+        // G-PDU being decoded was framed by that same UPF one line up.
         let n3 = self.upf.downlink(UE_ADDR, &payload).expect("the session is established");
         // The serving gNB terminates the N3 tunnel the UPF points at.
         let (_, sdu) = GtpuHeader::decode(&n3).expect("UPF-encapsulated G-PDU is well-formed");

@@ -23,6 +23,9 @@
 //!   traces, telemetry keys and the deadline-budget auditor;
 //! * [`multi_ue`] — the §9 scalability experiment: uplink latency and
 //!   resource waste as the UE population grows, grant-free vs grant-based;
+//! * [`multicell`] — the city-scale N-gNB topology: per-cell event queues
+//!   and heterogeneous UE mixes, sharded with cells as the boundary,
+//!   recording fixed-memory up to 10⁶ total UEs;
 //! * [`coexistence`] — URLLC sharing the downlink with eMBB: queueing vs
 //!   preemption (the §1 coexistence literature, on this stack).
 
@@ -32,6 +35,7 @@ pub mod experiment;
 pub mod handover;
 pub mod journey;
 pub mod multi_ue;
+pub mod multicell;
 pub mod node;
 pub mod overload;
 pub mod pipeline;
@@ -48,6 +52,9 @@ pub use handover::{
 };
 pub use journey::{PingTrace, StageSpan};
 pub use multi_ue::{run_multi_ue, scalability_sweep, MultiUeConfig, MultiUeResult};
+pub use multicell::{
+    run_multicell, CellConfig, CellReport, ClassReport, MulticellConfig, MulticellReport, UeClass,
+};
 pub use node::{GnbStack, StackError, UeStack};
 pub use overload::{
     run_overload, run_overload_profiled, service_capacity_pps, DegradationLevel, DropCounts,

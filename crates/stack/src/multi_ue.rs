@@ -20,11 +20,17 @@
 
 use ran::sched::{AccessMode, Scheduler, SchedulerConfig};
 use serde::Serialize;
-use sim::{Dist, Duration, EventQueue, Instant, LatencyRecorder, SimRng};
+use sim::{Dist, Duration, EventQueue, Instant, Recording, SimRng};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::config::StackConfig;
 use crate::node::StackError;
+
+/// UEs per sub-shard when a grant-free population point is split across
+/// workers (mirrors `BATCH_PINGS` for ping batches): big enough to
+/// amortise per-shard setup, small enough that one 256-UE point becomes
+/// several units of work instead of one wall-time-dominating shard.
+const SUB_SHARD_UES: usize = 64;
 
 /// Configuration of the scalability experiment.
 #[derive(Debug, Clone)]
@@ -61,7 +67,9 @@ pub struct MultiUeResult {
     /// UE population.
     pub n_ues: usize,
     /// One-way uplink latency across all UEs (arrival → decoded at gNB).
-    pub ul: LatencyRecorder,
+    /// Recorded fixed-memory ([`Recording::fixed`]): this is a scale path,
+    /// and per-sample storage would grow with `n_ues × packets_per_ue`.
+    pub ul: Recording,
     /// Grant-free only: fraction of owned transmission opportunities that
     /// carried no data (the wasted pre-allocation of §5).
     pub wasted_fraction: Option<f64>,
@@ -80,13 +88,21 @@ pub fn run_multi_ue(config: &MultiUeConfig) -> Result<MultiUeResult, StackError>
     }
 }
 
-/// Schedules every UE's Poisson arrivals on one event queue. Per-UE times
-/// ascend and UEs are pushed in index order, so the queue's `(time, FIFO)`
-/// pop order is exactly the old sorted `(arrival, ue)` sweep — but the
-/// arrivals now share the same future-event machinery as the ping walk.
-fn arrival_queue(config: &MultiUeConfig, rng: &SimRng) -> EventQueue<usize> {
+/// Schedules Poisson arrivals for UEs `ue_start..ue_start + ue_len` on one
+/// event queue. Per-UE times ascend and UEs are pushed in index order, so
+/// the queue's `(time, FIFO)` pop order is exactly the old sorted
+/// `(arrival, ue)` sweep — but the arrivals now share the same
+/// future-event machinery as the ping walk. Each UE's stream is keyed by
+/// its *global* index, so any partition of the population draws the same
+/// arrivals.
+fn arrival_queue(
+    config: &MultiUeConfig,
+    rng: &SimRng,
+    ue_start: usize,
+    ue_len: usize,
+) -> EventQueue<usize> {
     let mut queue = EventQueue::new();
-    for ue in 0..config.n_ues {
+    for ue in ue_start..ue_start + ue_len {
         let mut r = rng.stream_indexed("ue-arrivals", ue as u64);
         let inter = Dist::Exponential { mean: config.mean_interval };
         // Random phase so UEs are not synchronised.
@@ -113,7 +129,26 @@ fn gnb_decode(config: &MultiUeConfig) -> Duration {
     )
 }
 
-fn run_grant_free(config: &MultiUeConfig) -> Result<MultiUeResult, StackError> {
+/// Partial grant-free result for one UE range. Every field merges
+/// commutatively (histogram buckets, a per-UE-keyed used count, a max), so
+/// any partition of the population into spans reduces to the identical
+/// [`MultiUeResult`].
+struct GrantFreeSpan {
+    ul: Recording,
+    used: u64,
+    horizon: Instant,
+}
+
+/// Runs the grant-free experiment for UEs `ue_start..ue_start + ue_len`.
+/// Each arrival's latency is a pure function of its own arrival time and
+/// the (population-derived) rotation parameters — no shared scheduler
+/// state — which is what makes the per-UE split sound.
+fn grant_free_span(
+    config: &MultiUeConfig,
+    rng: &SimRng,
+    ue_start: usize,
+    ue_len: usize,
+) -> Result<GrantFreeSpan, StackError> {
     let duplex = &config.base.duplex;
     let capacity = config.base.slot_capacity_bytes();
     let grant = config.base.grant_bytes();
@@ -121,14 +156,15 @@ fn run_grant_free(config: &MultiUeConfig) -> Result<MultiUeResult, StackError> {
     // Rotation: how many UL opportunities pass between a UE's owned ones.
     let rotation = config.n_ues.div_ceil(per_slot_ues).max(1) as u64;
 
-    let rng = SimRng::from_seed(config.base.seed);
     let prep = ue_prep(config);
     let decode = gnb_decode(config);
-    let mut ul = LatencyRecorder::new();
+    let mut ul = Recording::fixed();
+    // (ue, ordinal) pairs are keyed by the UE, and every arrival of a UE
+    // lands in its own span — so per-span dedup equals global dedup.
     let mut used_pairs: BTreeSet<(usize, u64)> = BTreeSet::new();
     let mut horizon = Instant::ZERO;
 
-    let mut queue = arrival_queue(config, &rng);
+    let mut queue = arrival_queue(config, rng, ue_start, ue_len);
     while let Some((arrival, ue)) = queue.pop() {
         let ready = arrival + prep;
         // The UE's owned opportunities are every `rotation`-th UL
@@ -154,14 +190,27 @@ fn run_grant_free(config: &MultiUeConfig) -> Result<MultiUeResult, StackError> {
         used_pairs.insert((ue, ul_op_ordinal(duplex, op.slot)));
         horizon = horizon.max(done);
     }
+    Ok(GrantFreeSpan { ul, used: used_pairs.len() as u64, horizon })
+}
 
+/// Assembles the full grant-free result from merged spans.
+fn grant_free_result(
+    config: &MultiUeConfig,
+    ul: Recording,
+    used: u64,
+    horizon: Instant,
+) -> MultiUeResult {
+    let capacity = config.base.slot_capacity_bytes();
+    let grant = config.base.grant_bytes();
+    let per_slot_ues = (capacity / grant).max(1);
+    let rotation = config.n_ues.div_ceil(per_slot_ues).max(1) as u64;
     // Owned-but-unused opportunities: each UE owns one opportunity per
     // rotation period over the whole horizon.
-    let total_ul_ops = count_ul_ops(duplex, horizon);
+    let total_ul_ops = count_ul_ops(&config.base.duplex, horizon);
     let owned_per_ue = total_ul_ops / rotation;
     let owned_total = owned_per_ue * config.n_ues as u64;
-    let wasted = owned_total.saturating_sub(used_pairs.len() as u64);
-    Ok(MultiUeResult {
+    let wasted = owned_total.saturating_sub(used);
+    MultiUeResult {
         n_ues: config.n_ues,
         ul,
         wasted_fraction: Some(if owned_total == 0 {
@@ -170,7 +219,21 @@ fn run_grant_free(config: &MultiUeConfig) -> Result<MultiUeResult, StackError> {
             wasted as f64 / owned_total as f64
         }),
         rotation_period: Some(rotation),
-    })
+    }
+}
+
+fn run_grant_free(config: &MultiUeConfig) -> Result<MultiUeResult, StackError> {
+    let rng = SimRng::from_seed(config.base.seed);
+    let mut ul = Recording::fixed();
+    let mut used = 0u64;
+    let mut horizon = Instant::ZERO;
+    for (start, len) in sim::parallel::shard_ranges(config.n_ues as u64, SUB_SHARD_UES as u64) {
+        let span = grant_free_span(config, &rng, start as usize, len as usize)?;
+        ul.merge(&span.ul);
+        used += span.used;
+        horizon = horizon.max(span.horizon);
+    }
+    Ok(grant_free_result(config, ul, used, horizon))
 }
 
 /// Ordinal of the UL opportunity carried by `slot` (how many UL-capable
@@ -206,24 +269,41 @@ fn run_grant_based(config: &MultiUeConfig) -> Result<MultiUeResult, StackError> 
         100.0 * (1.0 + config.sched_scaling_per_ue * config.n_ues as f64),
     );
     let rng = SimRng::from_seed(config.base.seed);
-    let mut ul = LatencyRecorder::new();
+    let mut ul = Recording::fixed();
     // FIFO of outstanding arrivals per UE, so grants (possibly served in a
     // later round than they were requested) are attributed correctly.
     let mut outstanding: BTreeMap<u16, VecDeque<Instant>> = BTreeMap::new();
     let air = config.base.data_air_time(config.base.payload_bytes + 32);
 
+    // A grant for an RNTI that never sent an SR, or for a UE whose every
+    // outstanding packet was already served, means the scheduler's grant
+    // queue and our arrival ledger have diverged — reachable when a
+    // saturated scheduler re-issues grants past its own bookkeeping, so
+    // it surfaces as a typed error instead of a panic.
     let serve = |decision: ran::sched::SlotDecision,
                  outstanding: &mut BTreeMap<u16, VecDeque<Instant>>,
-                 ul: &mut LatencyRecorder| {
+                 ul: &mut Recording|
+     -> Result<(), StackError> {
         for grant in decision.ul_grants {
-            let queue = outstanding.get_mut(&grant.rnti).expect("grant for a known UE");
-            let arrival = queue.pop_front().expect("grant matches an outstanding packet");
+            let queue = outstanding.get_mut(&grant.rnti).ok_or_else(|| {
+                StackError::Diverged(format!(
+                    "scheduler granted rnti {} which never requested uplink",
+                    grant.rnti
+                ))
+            })?;
+            let arrival = queue.pop_front().ok_or_else(|| {
+                StackError::Diverged(format!(
+                    "scheduler over-granted rnti {}: no outstanding packet",
+                    grant.rnti
+                ))
+            })?;
             ul.record(grant.ul.tx_start + air + decode - arrival);
         }
+        Ok(())
     };
 
     let mut last_boundary = 0u64;
-    let mut queue = arrival_queue(config, &rng);
+    let mut queue = arrival_queue(config, &rng, 0, config.n_ues);
     while let Some((arrival, ue)) = queue.pop() {
         let ready = arrival + prep;
         // SR: one bit in the next UL opportunity (no contention).
@@ -234,13 +314,13 @@ fn run_grant_based(config: &MultiUeConfig) -> Result<MultiUeResult, StackError> 
         // Keep scheduler invocations monotone.
         let boundary = (duplex.slot_index_at(sr_visible) + 1).max(last_boundary);
         last_boundary = boundary;
-        serve(sched.run_slot(boundary), &mut outstanding, &mut ul);
+        serve(sched.run_slot(boundary), &mut outstanding, &mut ul)?;
     }
     // Flush any SRs deferred past the last boundary.
     let mut guard = 0;
     while sched.backlog().0 > 0 {
         last_boundary += 1;
-        serve(sched.run_slot(last_boundary), &mut outstanding, &mut ul);
+        serve(sched.run_slot(last_boundary), &mut outstanding, &mut ul)?;
         guard += 1;
         if guard >= 100_000 {
             return Err(StackError::Diverged(format!(
@@ -255,23 +335,85 @@ fn run_grant_based(config: &MultiUeConfig) -> Result<MultiUeResult, StackError> 
     Ok(MultiUeResult { n_ues: config.n_ues, ul, wasted_fraction: None, rotation_period: None })
 }
 
-/// Sweeps the UE population, returning one result per point. Points are
-/// evaluated in parallel; each seeds its own RNG from `seed`, so the sweep
-/// is bit-identical regardless of worker count. The first diverging point
+/// Sweeps the UE population, returning one result per point. The sweep is
+/// bit-identical regardless of worker count. The first diverging point
 /// fails the whole sweep (points are independent, so one divergence means
 /// the configuration itself is bad, not the neighbours).
+///
+/// Sharding is two-level: grant-free points split into [`SUB_SHARD_UES`]
+/// UE ranges (the way ping batches split into `BATCH_PINGS`), so the
+/// largest population no longer occupies one worker for the whole sweep
+/// while the rest idle. The split is sound because a grant-free arrival's
+/// latency depends only on its own UE's stream and the population-derived
+/// rotation — spans merge commutatively into the identical result.
+/// Grant-based points stay whole: their scheduler state is shared across
+/// every arrival of the run.
 pub fn scalability_sweep(
     access: AccessMode,
     populations: &[usize],
     seed: u64,
 ) -> Result<Vec<MultiUeResult>, StackError> {
-    sim::parallel::run_shards(populations.len(), |i| {
-        let mut cfg = MultiUeConfig::testbed(access, populations[i]);
-        cfg.base = cfg.base.with_seed(seed);
-        run_multi_ue(&cfg)
-    })
-    .into_iter()
-    .collect()
+    enum Shard {
+        Whole(usize),
+        Span { point: usize, start: usize, len: usize },
+    }
+    enum Out {
+        Whole(MultiUeResult),
+        Span(GrantFreeSpan),
+    }
+    let configs: Vec<MultiUeConfig> = populations
+        .iter()
+        .map(|&n| {
+            let mut cfg = MultiUeConfig::testbed(access, n);
+            cfg.base = cfg.base.with_seed(seed);
+            cfg
+        })
+        .collect();
+    let mut shards = Vec::new();
+    for (point, &n) in populations.iter().enumerate() {
+        match access {
+            AccessMode::GrantFree => {
+                for (start, len) in sim::parallel::shard_ranges(n as u64, SUB_SHARD_UES as u64) {
+                    shards.push(Shard::Span { point, start: start as usize, len: len as usize });
+                }
+            }
+            AccessMode::GrantBased => shards.push(Shard::Whole(point)),
+        }
+    }
+    let outs = sim::parallel::run_shards(shards.len(), |i| match shards[i] {
+        Shard::Whole(point) => run_multi_ue(&configs[point]).map(|r| (point, Out::Whole(r))),
+        Shard::Span { point, start, len } => {
+            let cfg = &configs[point];
+            let rng = SimRng::from_seed(cfg.base.seed);
+            grant_free_span(cfg, &rng, start, len).map(|s| (point, Out::Span(s)))
+        }
+    });
+    // Reduce in shard-index order; spans of one point are contiguous.
+    let mut results: Vec<Option<MultiUeResult>> = Vec::new();
+    results.resize_with(populations.len(), || None);
+    let mut partial: Vec<(Recording, u64, Instant)> =
+        populations.iter().map(|_| (Recording::fixed(), 0u64, Instant::ZERO)).collect();
+    for out in outs {
+        let (point, out) = out?;
+        match out {
+            Out::Whole(r) => results[point] = Some(r),
+            Out::Span(s) => {
+                let acc = &mut partial[point];
+                acc.0.merge(&s.ul);
+                acc.1 += s.used;
+                acc.2 = acc.2.max(s.horizon);
+            }
+        }
+    }
+    Ok(results
+        .into_iter()
+        .zip(partial)
+        .zip(&configs)
+        .map(|((whole, (ul, used, horizon)), cfg)| match whole {
+            Some(r) => r,
+            None => grant_free_result(cfg, ul, used, horizon),
+        })
+        .collect())
 }
 
 #[cfg(test)]

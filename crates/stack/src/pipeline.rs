@@ -533,6 +533,9 @@ impl Hop for SrTxHop {
     ) {
         let PingEvent::SrTx { probe } = ev else { unreachable!("SrTxHop consumes SrTx") };
         let sr_op = exp.config.duplex.next_ul_opportunity(probe);
+        // Infallible: `SrTx` is only ever emitted by `UlAccessHop` (grant-
+        // based arm) and by this hop's retry path, both after `ctx.sr` was
+        // populated; `ctx.sr` is cleared only between pings.
         let sr = ctx.sr.as_mut().expect("SR procedure in flight");
         if sr.maybe_transmit(sr_op.slot, sr_op.tx_start) {
             fx.emit(
@@ -549,6 +552,8 @@ impl Hop for SrTxHop {
                     exp.tel.count("mac", "rach_recoveries", 1);
                     ctx.ftrace.record(FaultKind::SrLoss, lat);
                     fx.span(Side::Ul, StageSpan::new(labels::RACH, giving_up, giving_up + lat));
+                    // Infallible: same invariant as above — this branch is
+                    // only reachable while the SR procedure is in flight.
                     ctx.sr.as_mut().expect("SR procedure in flight").on_rach_complete();
                     fx.emit(giving_up + lat, PingEvent::SrReady);
                 }
@@ -928,6 +933,10 @@ impl<H: Hop> Hop for StormGate<H> {
             if storm > Duration::ZERO {
                 ctx.ftrace.record(FaultKind::JitterStorm, storm);
                 exp.tel.record("radio", "storm_us", storm);
+                // Infallible: `StormGate` only wraps hops whose happy path
+                // pushes exactly one span and one emit (see ring wiring),
+                // and `storm > 0` implies the inner hop did not lose the
+                // ping — the storm gate draws after the inner hop ran.
                 let (_, span) = fx.spans.last_mut().expect("inner pushed its span");
                 span.end += storm;
                 let emit = fx.emits.last_mut().expect("inner emitted its event");
@@ -944,6 +953,7 @@ impl<H: Hop> Hop for StormGate<H> {
             ctx.pending_storm = storm;
             if storm > Duration::ZERO {
                 exp.tel.record("radio", "storm_us", storm);
+                // Infallible: same wrapper invariant as the stretch arm.
                 let emit = fx.emits.last_mut().expect("inner emitted its event");
                 emit.0 += storm;
                 exp.tel.journal(JournalEvent::FaultInjected {

@@ -12,10 +12,10 @@
 use std::collections::BTreeMap;
 
 use sim::Duration;
-
-/// Linear sub-buckets per power of two (relative resolution 1/16 ≈ 6.25%).
-pub const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
-const SUB_BUCKET_BITS: u32 = 4;
+// The histogram itself lives in `sim::stats` (scale experiments record
+// through it directly, behind `sim::Recording`); re-exported here so
+// telemetry callers keep their established paths.
+pub use sim::{BucketExemplar, LogLinearHistogram, SUB_BUCKETS};
 
 /// A `(layer, name, label)` metric key, e.g. `mac/harq_retx` or
 /// `radio/submit_us{ue}`. The label discriminates instances of the same
@@ -49,186 +49,6 @@ impl MetricKey {
         } else {
             format!("{}/{}{{{}}}", self.layer, self.name, self.label)
         }
-    }
-}
-
-/// An OpenMetrics-style exemplar attached to one histogram bucket: the
-/// identity of a concrete ping whose value landed there, so a quantile in
-/// an aggregate report can be traced back to a replayable exemplar in
-/// `results/tail_exemplars.json`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BucketExemplar {
-    /// The recorded value (ns).
-    pub value: u64,
-    /// The ping (packet id) that produced it.
-    pub ping: u64,
-}
-
-impl BucketExemplar {
-    /// Deterministic keep rule: the larger value wins, ties broken toward
-    /// the smaller ping id. Total order ⇒ commutative and associative, so
-    /// shard merges are worker-count invariant.
-    fn better_than(self, other: BucketExemplar) -> bool {
-        self.value > other.value || (self.value == other.value && self.ping < other.ping)
-    }
-}
-
-/// A log-linear histogram over `u64` values (nanoseconds by convention).
-///
-/// Values below [`SUB_BUCKETS`]² land in exact unit-width buckets; above
-/// that, each power of two is split into [`SUB_BUCKETS`] linear
-/// sub-buckets, so any recorded value is reported with at most
-/// `1/SUB_BUCKETS` relative error. The bucket vector grows on demand and
-/// tops out at ~1000 entries for the full `u64` range.
-#[derive(Debug, Clone, Default)]
-pub struct LogLinearHistogram {
-    buckets: Vec<u64>,
-    exemplars: Vec<Option<BucketExemplar>>,
-    count: u64,
-    sum: u64,
-    min: u64,
-    max: u64,
-}
-
-impl LogLinearHistogram {
-    /// An empty histogram.
-    pub fn new() -> LogLinearHistogram {
-        LogLinearHistogram {
-            buckets: Vec::new(),
-            exemplars: Vec::new(),
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
-    }
-
-    /// Bucket index for `value`.
-    pub fn index_of(value: u64) -> usize {
-        if value < SUB_BUCKETS {
-            return value as usize;
-        }
-        let msb = 63 - value.leading_zeros() as u64;
-        let octave = msb - SUB_BUCKET_BITS as u64 + 1;
-        let sub = (value >> (msb - SUB_BUCKET_BITS as u64)) & (SUB_BUCKETS - 1);
-        (octave * SUB_BUCKETS + sub) as usize
-    }
-
-    /// Half-open range `[lo, hi)` of values mapping to bucket `index`.
-    pub fn bucket_bounds(index: usize) -> (u64, u64) {
-        let index = index as u64;
-        if index < SUB_BUCKETS {
-            return (index, index + 1);
-        }
-        let octave = index / SUB_BUCKETS;
-        let sub = index % SUB_BUCKETS;
-        let msb = octave + SUB_BUCKET_BITS as u64 - 1;
-        let width = 1u64 << (msb - SUB_BUCKET_BITS as u64);
-        let lo = (SUB_BUCKETS + sub) << (msb - SUB_BUCKET_BITS as u64);
-        (lo, lo.saturating_add(width))
-    }
-
-    /// Records one value.
-    pub fn record(&mut self, value: u64) {
-        let idx = Self::index_of(value);
-        if idx >= self.buckets.len() {
-            self.buckets.resize(idx + 1, 0);
-        }
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(value);
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-    }
-
-    /// Records one value and attaches a [`BucketExemplar`] naming the ping
-    /// that produced it. Per bucket, the exemplar with the largest value
-    /// survives (ties → smaller ping id), so merges stay deterministic.
-    pub fn record_with_exemplar(&mut self, value: u64, ping: u64) {
-        self.record(value);
-        self.attach_exemplar(Self::index_of(value), BucketExemplar { value, ping });
-    }
-
-    fn attach_exemplar(&mut self, idx: usize, ex: BucketExemplar) {
-        if idx >= self.exemplars.len() {
-            self.exemplars.resize(idx + 1, None);
-        }
-        match self.exemplars[idx] {
-            Some(cur) if !ex.better_than(cur) => {}
-            _ => self.exemplars[idx] = Some(ex),
-        }
-    }
-
-    /// Bucket exemplars, as `(bucket_index, exemplar)` in bucket order.
-    pub fn exemplars(&self) -> impl Iterator<Item = (usize, BucketExemplar)> + '_ {
-        self.exemplars.iter().enumerate().filter_map(|(i, ex)| ex.map(|e| (i, e)))
-    }
-
-    /// Number of recorded values.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Smallest recorded value (0 when empty).
-    pub fn min(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Largest recorded value.
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Mean of recorded values (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Adds another histogram's buckets into this one. Buckets are fixed
-    /// by value, not by insertion order, so the merge is commutative.
-    pub fn merge(&mut self, other: &LogLinearHistogram) {
-        if other.count == 0 {
-            return;
-        }
-        if other.buckets.len() > self.buckets.len() {
-            self.buckets.resize(other.buckets.len(), 0);
-        }
-        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += theirs;
-        }
-        for (idx, ex) in other.exemplars() {
-            self.attach_exemplar(idx, ex);
-        }
-        self.count += other.count;
-        self.sum = self.sum.saturating_add(other.sum);
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-    }
-
-    /// Nearest-rank `q`-quantile (`q` in `[0, 1]`), reported as the lower
-    /// bound of the containing bucket — conservative, and exact for values
-    /// below [`SUB_BUCKETS`]. Returns 0 when empty.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (idx, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Self::bucket_bounds(idx).0.max(self.min).min(self.max);
-            }
-        }
-        self.max
     }
 }
 

@@ -104,11 +104,11 @@ fn analytic_sweeps_are_worker_count_invariant() {
             .iter()
             .map(|p| (p.pattern, p.grant_free, p.verdict.feasible, p.verdict.worst_ul))
             .collect();
-        let scale: Vec<(Vec<f64>, Option<f64>)> =
+        let scale: Vec<(sim::Recording, Option<f64>)> =
             stack::scalability_sweep(AccessMode::GrantFree, &[1, 8, 32], 11)
                 .expect("sweep converges")
                 .iter()
-                .map(|r| (r.ul.samples_us().to_vec(), r.wasted_fraction))
+                .map(|r| (r.ul.clone(), r.wasted_fraction))
                 .collect();
         (rel, fmts, design, scale)
     };
