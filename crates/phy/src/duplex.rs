@@ -204,6 +204,136 @@ enum Direction {
     Downlink,
 }
 
+/// Precomputed slot-timing lookup table for one [`Duplex`] configuration.
+///
+/// [`Duplex::next_ul_opportunity`] / [`Duplex::next_dl_opportunity`] walk the
+/// slot pattern on every call; the per-slot scheduler and the per-ping hop
+/// chain ask the same questions millions of times of one immutable
+/// configuration. `SlotTiming` folds one pattern period into direct-index
+/// tables so each query is O(1), and answers **byte-identically** to the
+/// walking implementation (pinned by the equivalence tests below).
+#[derive(Debug, Clone)]
+pub struct SlotTiming {
+    slot: Duration,
+    period_slots: u64,
+    ul: Option<DirTable>,
+    dl: Option<DirTable>,
+}
+
+#[derive(Debug, Clone)]
+struct DirTable {
+    /// `offset[p]`: slots from a slot at period position `p` to the first
+    /// direction-capable slot at or after it.
+    offset: Vec<u64>,
+    /// `start[q]`: offset of the transmission start within a capable slot
+    /// at period position `q` (zero at non-capable positions, which the
+    /// query never indexes).
+    start: Vec<Duration>,
+    /// `duration[q]`: transmission time available at period position `q`.
+    duration: Vec<Duration>,
+}
+
+fn dir_table(
+    c: &TddConfig,
+    has: fn(SlotKind) -> bool,
+    start_in: impl Fn(u64) -> Option<Instant>,
+    dur_in: impl Fn(u64) -> Duration,
+) -> Option<DirTable> {
+    if !c.any_slot(has) {
+        return None;
+    }
+    let n = c.slots_per_period();
+    let mut offset = Vec::with_capacity(n as usize);
+    let mut start = Vec::with_capacity(n as usize);
+    let mut duration = Vec::with_capacity(n as usize);
+    for p in 0..n {
+        offset.push(c.next_slot_where(p, has) - p);
+        start.push(start_in(p).map(|s| s - c.slot_start(p)).unwrap_or(Duration::ZERO));
+        duration.push(dur_in(p));
+    }
+    Some(DirTable { offset, start, duration })
+}
+
+impl SlotTiming {
+    /// Builds the lookup table for `duplex`.
+    pub fn new(duplex: &Duplex) -> SlotTiming {
+        let slot = duplex.slot_duration();
+        match duplex {
+            Duplex::Fdd { .. } => {
+                let both =
+                    DirTable { offset: vec![0], start: vec![Duration::ZERO], duration: vec![slot] };
+                SlotTiming { slot, period_slots: 1, ul: Some(both.clone()), dl: Some(both) }
+            }
+            Duplex::Tdd(c) => SlotTiming {
+                slot,
+                period_slots: c.slots_per_period(),
+                ul: dir_table(
+                    c,
+                    SlotKind::has_ul,
+                    |s| c.ul_start_in_slot(s),
+                    |s| c.ul_duration_in_slot(s),
+                ),
+                dl: dir_table(
+                    c,
+                    SlotKind::has_dl,
+                    |s| c.dl_start_in_slot(s),
+                    |s| c.dl_duration_in_slot(s),
+                ),
+            },
+        }
+    }
+
+    /// Slot duration.
+    pub fn slot_duration(&self) -> Duration {
+        self.slot
+    }
+
+    /// Global index of the slot containing `t` (same as
+    /// [`Duplex::slot_index_at`]).
+    pub fn slot_index_at(&self, t: Instant) -> u64 {
+        t.as_nanos() / self.slot.as_nanos()
+    }
+
+    /// Start instant of global slot `slot` (same as [`Duplex::slot_start`]).
+    pub fn slot_start(&self, slot: u64) -> Instant {
+        Instant::from_nanos(slot * self.slot.as_nanos())
+    }
+
+    /// First uplink transmission opportunity for a packet ready at `ready`
+    /// — identical to [`Duplex::next_ul_opportunity`], O(1).
+    pub fn next_ul_opportunity(&self, ready: Instant) -> TxOpportunity {
+        self.next(ready, &self.ul)
+    }
+
+    /// First downlink transmission opportunity for a packet ready at
+    /// `ready` — identical to [`Duplex::next_dl_opportunity`], O(1).
+    pub fn next_dl_opportunity(&self, ready: Instant) -> TxOpportunity {
+        self.next(ready, &self.dl)
+    }
+
+    fn next(&self, ready: Instant, table: &Option<DirTable>) -> TxOpportunity {
+        // Same message the uncached path panics with for a direction the
+        // pattern does not carry.
+        let t = table.as_ref().expect("no slot in the TDD period satisfies the predicate");
+        let from = self.slot_index_at(ready.ceil_to(self.slot));
+        let p = (from % self.period_slots) as usize;
+        let slot = from + t.offset[p];
+        let q = (slot % self.period_slots) as usize;
+        TxOpportunity {
+            slot,
+            tx_start: self.slot_start(slot) + t.start[q],
+            tx_duration: t.duration[q],
+        }
+    }
+}
+
+impl Duplex {
+    /// Builds the O(1) [`SlotTiming`] lookup table for this configuration.
+    pub fn timing(&self) -> SlotTiming {
+        SlotTiming::new(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +420,38 @@ mod tests {
         // FDD: worst wait is strictly less than one slot.
         let fdd = Duplex::Fdd { numerology: Numerology::Mu2 };
         assert!(fdd.worst_case_ul_wait() < Duration::from_micros(250));
+    }
+
+    #[test]
+    fn slot_timing_matches_walking_queries_everywhere() {
+        let duplexes = [
+            Duplex::Tdd(TddConfig::dddu_testbed()),
+            Duplex::Tdd(TddConfig::du_minimal()),
+            Duplex::Tdd(TddConfig::dm_minimal()),
+            Duplex::Tdd(TddConfig::mu_minimal()),
+            Duplex::Fdd { numerology: Numerology::Mu1 },
+            Duplex::Fdd { numerology: Numerology::Mu2 },
+        ];
+        for d in &duplexes {
+            let timing = d.timing();
+            assert_eq!(timing.slot_duration(), d.slot_duration());
+            // Probe three full periods at 1 µs granularity plus the
+            // boundary-adjacent instants where the answer changes.
+            let horizon = 3 * d.pattern_period().as_nanos();
+            let mut probes: Vec<u64> = (0..horizon).step_by(1_000).collect();
+            let slot = d.slot_duration().as_nanos();
+            for s in 0..horizon / slot {
+                probes.push(s * slot);
+                probes.push(s * slot + 1);
+                probes.push((s + 1) * slot - 1);
+            }
+            for nanos in probes {
+                let ready = Instant::from_nanos(nanos);
+                assert_eq!(timing.next_ul_opportunity(ready), d.next_ul_opportunity(ready));
+                assert_eq!(timing.next_dl_opportunity(ready), d.next_dl_opportunity(ready));
+                assert_eq!(timing.slot_index_at(ready), d.slot_index_at(ready));
+            }
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod timing;
 pub mod transport;
 
 pub use band::{Band, FrequencyRange};
-pub use duplex::Duplex;
+pub use duplex::{Duplex, SlotTiming};
 pub use equalize::ChannelTap;
 pub use frame::SlotClock;
 pub use mini_slot::MiniSlotConfig;

@@ -46,7 +46,10 @@ pub use rrc::{
     A3Trigger, HandoverConfig, HandoverEntity, HandoverTimeline, RecoveryTimeline, RrcConfig,
     RrcEntity, RrcState,
 };
-pub use sched::{AccessMode, Scheduler, SchedulerConfig};
+pub use sched::{
+    AccessMode, EmergencyBurst, PolicySpec, RequestTag, SchedItem, Scheduler, SchedulerConfig,
+    SchedulingPolicy, Slice, SliceShares,
+};
 pub use sdap::{SdapEntity, SdapHeader};
 pub use sr::{SrConfig, SrState};
 pub use timing::LayerTimings;

@@ -7,7 +7,7 @@ use phy::grid::CarrierConfig;
 use phy::modulation::Modulation;
 use phy::tdd::TddConfig;
 use radio::RadioHeadConfig;
-use ran::sched::{AccessMode, SchedulerConfig};
+use ran::sched::{AccessMode, PolicySpec, SchedulerConfig};
 use ran::timing::LayerTimings;
 use serde::{Deserialize, Serialize};
 use sim::Duration;
@@ -100,6 +100,9 @@ pub struct StackConfig {
     /// Fault-injection plan. The default ([`sim::FaultPlan::none`]) injects
     /// nothing and reproduces the fault-free traces byte for byte.
     pub faults: sim::FaultPlan,
+    /// MAC scheduling policy ([`PolicySpec::Fcfs`] reproduces the
+    /// pre-policy scheduler byte for byte).
+    pub policy: PolicySpec,
     /// Master random seed.
     pub seed: u64,
 }
@@ -145,6 +148,7 @@ impl StackConfig {
             // Four pattern periods of headroom over the Fig 6 medians.
             deadline: Duration::from_millis(8),
             faults: sim::FaultPlan::none(),
+            policy: PolicySpec::Fcfs,
             // Arbitrary default; overridden per experiment via `with_seed`.
             seed: 0x5612_3458,
         }
@@ -194,6 +198,7 @@ impl StackConfig {
             backup_backbone: Some(BackboneLink::ideal()),
             deadline: Duration::from_millis(1),
             faults: sim::FaultPlan::none(),
+            policy: PolicySpec::Fcfs,
             seed: 7,
         }
     }
@@ -211,7 +216,14 @@ impl StackConfig {
             dl_slot_capacity: self.slot_capacity_bytes(),
             ul_slot_capacity: self.slot_capacity_bytes(),
             grant_bytes: self.grant_bytes(),
+            policy: self.policy.build(),
         }
+    }
+
+    /// With a different scheduling policy (for the scheduler laboratory).
+    pub fn with_policy(mut self, policy: PolicySpec) -> StackConfig {
+        self.policy = policy;
+        self
     }
 
     /// Bytes a full slot can carry at the configured MCS.

@@ -196,6 +196,14 @@ impl ExperimentResult {
 /// [`crate::pipeline`] hop chain.
 pub struct PingExperiment {
     pub(crate) config: StackConfig,
+    /// O(1) slot-pattern lookups for `config.duplex`, built once per
+    /// experiment instead of re-walking the pattern on every ping.
+    pub(crate) timing: phy::duplex::SlotTiming,
+    /// Cached HARQ round trips (`[dl, ul]`): pure functions of the duplex
+    /// pattern, formerly re-derived per HARQ cycle.
+    pub(crate) harq_rtt: [Duration; 2],
+    /// Cached RLC AM status round trips (`[dl, ul]`).
+    pub(crate) rlc_rtt: [Duration; 2],
     pub(crate) link: Option<channel::Fr1Link>,
     pub(crate) sched: Scheduler,
     pub(crate) ue: UeStack,
@@ -246,7 +254,17 @@ impl PingExperiment {
         let master = SimRng::from_seed(config.seed);
         let mut gnb = GnbStack::new();
         gnb.attach_ue(RNTI, KEY, UE_ADDR);
+        let fb = Duration::from_micros(50);
         PingExperiment {
+            timing: config.duplex.timing(),
+            harq_rtt: [
+                ran::harq::harq_round_trip(&config.duplex, true, fb),
+                ran::harq::harq_round_trip(&config.duplex, false, fb),
+            ],
+            rlc_rtt: [
+                ran::harq::rlc_recovery_round_trip(&config.duplex, true, fb),
+                ran::harq::rlc_recovery_round_trip(&config.duplex, false, fb),
+            ],
             link: config.link.map(channel::Fr1Link::new),
             sched: Scheduler::new(config.scheduler_config()),
             ue: UeStack::new(RNTI, KEY),
@@ -374,16 +392,16 @@ impl PingExperiment {
         misses: &mut u64,
     ) -> Instant {
         let mut probe = match not_before_slot {
-            Some(slot) => self.config.duplex.slot_start(slot),
+            Some(slot) => self.timing.slot_start(slot),
             None => samples_ready,
         };
         loop {
-            let op = self.config.duplex.next_ul_opportunity(probe);
+            let op = self.timing.next_ul_opportunity(probe);
             if samples_ready + submit <= op.tx_start {
                 return op.tx_start;
             }
             *misses += 1;
-            probe = self.config.duplex.slot_start(op.slot + 1);
+            probe = self.timing.slot_start(op.slot + 1);
         }
     }
 
@@ -402,8 +420,7 @@ impl PingExperiment {
         if self.link.is_none() && !channel_faulty {
             return HarqCycle { extra: Duration::ZERO, delivered: true, burst_caused: false };
         }
-        let rtt =
-            ran::harq::harq_round_trip(&self.config.duplex, dl_data, Duration::from_micros(50));
+        let rtt = self.harq_rtt[usize::from(!dl_data)];
         let mut extra = Duration::ZERO;
         let mut burst_caused = false;
         for attempt in 1..=self.config.harq_max_tx {
@@ -473,11 +490,7 @@ impl PingExperiment {
             // sender retransmits through a fresh HARQ cycle.
             result.rlc_escalations += 1;
             self.tel.count("rlc", "am_retx_rounds", 1);
-            let recovery = ran::harq::rlc_recovery_round_trip(
-                &self.config.duplex,
-                dl_data,
-                Duration::from_micros(50),
-            );
+            let recovery = self.rlc_rtt[usize::from(!dl_data)];
             extra += recovery;
             if cycle.burst_caused {
                 ftrace.record(FaultKind::ChannelBurst, recovery);
@@ -548,8 +561,7 @@ impl PingExperiment {
                 return None;
             }
         };
-        let status_rtt =
-            ran::harq::rlc_recovery_round_trip(&self.config.duplex, dl, Duration::from_micros(50));
+        let status_rtt = self.rlc_rtt[usize::from(!dl)];
         result.recovered += 1;
         Some((reestablished + status_rtt, reestablished, pdus))
     }

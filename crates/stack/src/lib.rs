@@ -39,9 +39,10 @@ pub mod multicell;
 pub mod node;
 pub mod overload;
 pub mod pipeline;
+pub mod schedlab;
 pub mod stage_labels;
 
-pub use coexistence::{coexistence_sweep, CoexistencePoint, CoexistencePolicy};
+pub use coexistence::{coexistence_sweep, CoexistencePoint};
 pub use config::{DlPullPoint, StackConfig};
 pub use experiment::{
     run_parallel, run_parallel_opts, run_parallel_profiled, run_parallel_workers, ExperimentResult,
@@ -61,3 +62,7 @@ pub use overload::{
     DropReason, NullHook, OverloadConfig, OverloadReport, SloHook,
 };
 pub use pipeline::{Hop, HopChain, HopFx, HopId, HopOutcome, PingCtx, PingEvent, Side};
+pub use schedlab::{
+    run_sched_lab, LabClass, LabClassReport, LabMix, LabPointReport, PreemptionBoundModel,
+    SchedLabConfig,
+};

@@ -532,7 +532,7 @@ impl Hop for SrTxHop {
         fx: &mut HopFx,
     ) {
         let PingEvent::SrTx { probe } = ev else { unreachable!("SrTxHop consumes SrTx") };
-        let sr_op = exp.config.duplex.next_ul_opportunity(probe);
+        let sr_op = exp.timing.next_ul_opportunity(probe);
         // Infallible: `SrTx` is only ever emitted by `UlAccessHop` (grant-
         // based arm) and by this hop's retry path, both after `ctx.sr` was
         // populated; `ctx.sr` is cleared only between pings.
@@ -562,7 +562,7 @@ impl Hop for SrTxHop {
                 None => fx.lose(),
             }
         } else {
-            let next = exp.config.duplex.slot_start(sr_op.slot + 1);
+            let next = exp.timing.slot_start(sr_op.slot + 1);
             fx.emit(next, PingEvent::SrTx { probe: next });
         }
     }
@@ -588,8 +588,8 @@ impl<H: Hop> Hop for SrLossGate<H> {
             unreachable!("SrLossGate consumes SrOnAir")
         };
         if exp.injector.sr_lost() {
-            let probe = exp.config.duplex.slot_start(slot + 1);
-            let next = exp.config.duplex.next_ul_opportunity(probe);
+            let probe = exp.timing.slot_start(slot + 1);
+            let next = exp.timing.next_ul_opportunity(probe);
             ctx.ftrace.record(FaultKind::SrLoss, next.tx_start - tx_start);
             result.sr_retx += 1;
             exp.tel.count("mac", "sr_retx", 1);
@@ -651,8 +651,8 @@ impl Hop for UlSchedRequestHop {
     ) {
         ctx.sr_ready = at;
         exp.sched.on_sr(RNTI, at);
-        let boundary = exp.config.duplex.slot_index_at(at) + 1;
-        fx.emit(exp.config.duplex.slot_start(boundary), PingEvent::SchedRound { slot: boundary });
+        let boundary = exp.timing.slot_index_at(at) + 1;
+        fx.emit(exp.timing.slot_start(boundary), PingEvent::SchedRound { slot: boundary });
     }
 }
 
@@ -690,7 +690,7 @@ impl Hop for UlSchedHop {
             }
             None => {
                 let next = slot + 1;
-                fx.emit(exp.config.duplex.slot_start(next), PingEvent::SchedRound { slot: next });
+                fx.emit(exp.timing.slot_start(next), PingEvent::SchedRound { slot: next });
             }
         }
     }
@@ -725,13 +725,10 @@ impl<H: Hop> Hop for GrantGate<H> {
                 extra: Duration::ZERO,
             });
             ctx.first_withheld = ctx.first_withheld.or(Some(grant.grant_tx));
-            let retry = exp.config.duplex.slot_start(grant.ul.slot + 1);
+            let retry = exp.timing.slot_start(grant.ul.slot + 1);
             exp.sched.on_sr(RNTI, retry);
-            let boundary = exp.config.duplex.slot_index_at(retry) + 1;
-            fx.emit(
-                exp.config.duplex.slot_start(boundary),
-                PingEvent::SchedRound { slot: boundary },
-            );
+            let boundary = exp.timing.slot_index_at(retry) + 1;
+            fx.emit(exp.timing.slot_start(boundary), PingEvent::SchedRound { slot: boundary });
             return;
         }
         self.inner.handle(exp, ctx, result, at, ev, fx);
@@ -760,7 +757,7 @@ impl Hop for GrantRxHop {
         }
         fx.span(
             Side::Ul,
-            StageSpan::new(labels::SCHE, ctx.sr_ready, exp.config.duplex.slot_start(decision_slot)),
+            StageSpan::new(labels::SCHE, ctx.sr_ready, exp.timing.slot_start(decision_slot)),
         );
         let dci_air = exp.config.duplex.numerology().symbol_offset(2); // two-symbol CORESET
         let grant_rx = grant.grant_tx + dci_air;
@@ -1154,8 +1151,8 @@ impl Hop for DlWalkHop {
         exp.sched.on_dl_data(RNTI, dl_pdus[0].len(), in_rlc_q);
         ctx.dl_pdus = dl_pdus;
         ctx.in_rlc_q = in_rlc_q;
-        let boundary = exp.config.duplex.slot_index_at(in_rlc_q) + 1;
-        fx.emit(exp.config.duplex.slot_start(boundary), PingEvent::DlSched { slot: boundary });
+        let boundary = exp.timing.slot_index_at(in_rlc_q) + 1;
+        fx.emit(exp.timing.slot_start(boundary), PingEvent::DlSched { slot: boundary });
     }
 }
 
@@ -1185,7 +1182,7 @@ impl Hop for DlSchedHop {
         let decision = exp.sched.run_slot(slot);
         let Some(assign) = decision.dl_assignments.first().copied() else {
             let next = slot + 1;
-            fx.emit(exp.config.duplex.slot_start(next), PingEvent::DlSched { slot: next });
+            fx.emit(exp.timing.slot_start(next), PingEvent::DlSched { slot: next });
             return;
         };
         let dl_tx = assign.dl.tx_start;
@@ -1256,7 +1253,7 @@ impl Hop for RingHop {
             }
             dl_tx
         } else {
-            let retry = exp.config.duplex.next_dl_opportunity(at).tx_start;
+            let retry = exp.timing.next_dl_opportunity(at).tx_start;
             if storm > Duration::ZERO {
                 ctx.ftrace.record(FaultKind::JitterStorm, retry - dl_tx);
             }

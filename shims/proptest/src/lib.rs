@@ -23,6 +23,43 @@ pub mod strategy {
         type Value;
         /// Generates one value.
         fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Maps generated values through `f` (upstream's `prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    /// Always generates a clone of the given value (upstream's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
     }
 
     macro_rules! int_range_strategy {
@@ -81,6 +118,8 @@ pub mod strategy {
         (A: 0, B: 1);
         (A: 0, B: 1, C: 2);
         (A: 0, B: 1, C: 2, D: 3);
+        (A: 0, B: 1, C: 2, D: 3, E: 4);
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
     }
 
     /// Strategy returned by [`crate::arbitrary::any`].
@@ -326,7 +365,7 @@ pub mod prelude {
     //! Everything a property-test module needs in scope.
 
     pub use crate::arbitrary::any;
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 
@@ -480,6 +519,16 @@ mod tests {
             match o {
                 Some(_) | None => {}
             }
+        }
+
+        #[test]
+        fn just_and_prop_map_compose(
+            pair in (Just(7u8), (0u32..5).prop_map(|x| x * 2)),
+            five in (0u8..2, Just(1u8), 0u8..2, Just(3u8), 0u8..2),
+        ) {
+            prop_assert_eq!(pair.0, 7);
+            prop_assert!(pair.1 % 2 == 0 && pair.1 < 10);
+            prop_assert_eq!((five.1, five.3), (1, 3));
         }
     }
 

@@ -54,6 +54,7 @@ fn protocol_only(duplex: Duplex, access: AccessMode) -> StackConfig {
         backup_backbone: None,
         deadline: Duration::from_millis(8),
         faults: sim::FaultPlan::none(),
+        policy: ran::PolicySpec::Fcfs,
         seed: 0,
     }
 }
